@@ -1,0 +1,47 @@
+//! Fig. 4: branch MPKI of LLBP, LLBP-0Lat, 512K TSL and Inf TSL
+//! normalized to the 64K TSL baseline.
+
+use bpsim::report::{f3, geomean, pct, Table};
+
+fn main() {
+    let sim = bench::sim();
+    let mut table = Table::new(
+        "Fig. 4 — MPKI normalized to 64K TSL (lower is better)",
+        &["workload", "64K MPKI", "LLBP", "LLBP-0Lat", "512K TSL", "Inf TSL"],
+    );
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for preset in bench::presets() {
+        let base = bench::run(&mut bench::tsl64(), &preset.spec, &sim);
+        let mut cells = vec![preset.spec.name.clone(), f3(base.mpki())];
+        for (i, mut design) in
+            [bench::llbp(), bench::llbp_0lat(), bench::tsl(512), bench::tsl_inf()]
+                .into_iter()
+                .enumerate()
+        {
+            let r = bench::run(&mut design, &preset.spec, &sim);
+            let ratio = r.mpki() / base.mpki();
+            ratios[i].push(ratio);
+            cells.push(f3(ratio));
+        }
+        table.row(&cells);
+    }
+    let mut avg = vec!["geomean".into(), "-".into()];
+    for r in &ratios {
+        avg.push(f3(geomean(r.iter().copied())));
+    }
+    table.row(&avg);
+    print!("{}", table.render());
+
+    println!();
+    for (i, name) in ["LLBP", "LLBP-0Lat", "512K TSL", "Inf TSL"].iter().enumerate() {
+        println!(
+            "{name}: average MPKI reduction {}",
+            pct(1.0 - geomean(ratios[i].iter().copied()))
+        );
+    }
+    bench::footer(
+        &sim,
+        "Fig. 4 (\u{a7}II-C.5): LLBP reduces 0.6-25% (avg 8.8%), 512K TSL \
+         12.7-46.1% (avg 27.5%), Inf TSL avg 32.5%",
+    );
+}

@@ -1,0 +1,65 @@
+//! Fig. 5: the limit study — successively removing LLBP's design
+//! constraints, normalized to the 0-latency LLBP baseline.
+//!
+//! Steps (each inherits the previous):
+//!
+//! 1. `+ No Design Tweaks`, 2. `+ 20b Tag`, 3. `+ Inf Contexts`,
+//!    4. `+ Inf Patterns`, 5. `+ No Contextualization`.
+//!
+//! The idealized configurations simulate slowly, so the default runs the
+//! representative six-workload subset (override with `REPRO_WORKLOADS`).
+
+use bpsim::report::{f3, geomean, pct, Table};
+use llbpx::LlbpConfig;
+
+fn main() {
+    let sim = bench::sim();
+    type StepList = Vec<(&'static str, fn() -> LlbpConfig)>;
+    let steps: StepList = vec![
+        ("+No Design Tweaks", LlbpConfig::no_design_tweaks),
+        ("+20b Tag", LlbpConfig::with_20b_tags),
+        ("+Inf Contexts", LlbpConfig::with_infinite_contexts),
+        ("+Inf Patterns", LlbpConfig::with_infinite_patterns),
+        ("+No Contextualization", LlbpConfig::without_contextualization),
+    ];
+
+    let mut header = vec!["workload", "LLBP-0Lat MPKI"];
+    header.extend(steps.iter().map(|(n, _)| *n));
+    let mut table = Table::new(
+        "Fig. 5 — removing LLBP's design constraints (MPKI vs LLBP-0Lat)",
+        &header,
+    );
+
+    let presets = bench::representative_presets();
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); steps.len()];
+    for preset in &presets {
+        let base = bench::run(&mut bench::llbp_0lat(), &preset.spec, &sim);
+        let mut cells = vec![preset.spec.name.clone(), f3(base.mpki())];
+        for (i, (_, cfg)) in steps.iter().enumerate() {
+            let r = bench::run(&mut bench::llbp_with(cfg()), &preset.spec, &sim);
+            let ratio = r.mpki() / base.mpki();
+            ratios[i].push(ratio);
+            cells.push(f3(ratio));
+        }
+        table.row(&cells);
+    }
+    let mut avg = vec!["geomean".into(), "1.000".into()];
+    for r in &ratios {
+        avg.push(f3(geomean(r.iter().copied())));
+    }
+    table.row(&avg);
+    print!("{}", table.render());
+
+    println!("\nstepwise reduction relative to the preceding configuration:");
+    let mut prev = 1.0;
+    for (i, (name, _)) in steps.iter().enumerate() {
+        let g = geomean(ratios[i].iter().copied());
+        println!("  {name:<22} {}", pct(1.0 - g / prev));
+        prev = g;
+    }
+    bench::footer(
+        &sim,
+        "Fig. 5 (\u{a7}III-A): tweaks 4.6%, 20b tag 1.3%, inf contexts 3.9%, \
+         inf patterns 9.1%, no contextualization 4.3%",
+    );
+}

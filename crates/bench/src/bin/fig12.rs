@@ -1,0 +1,51 @@
+//! Fig. 12: MPKI reduction over 64K TSL for LLBP, LLBP-X, LLBP-X Opt-W
+//! and the idealized 512K TSL — the paper's headline accuracy result.
+
+use bpsim::report::{f3, geomean, pct, Table};
+
+fn main() {
+    let sim = bench::sim();
+    let mut table = Table::new(
+        "Fig. 12 — branch misprediction reduction over 64K TSL",
+        &["workload", "64K MPKI", "LLBP", "LLBP-X", "LLBP-X Opt-W", "512K TSL"],
+    );
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for preset in bench::presets() {
+        let base = bench::run(&mut bench::tsl64(), &preset.spec, &sim);
+        let mut cells = vec![preset.spec.name.clone(), f3(base.mpki())];
+
+        let oracle = bench::opt_w_oracle(&preset.spec, &sim);
+        let designs: Vec<Box<dyn bpsim::SimPredictor>> = vec![
+            bench::llbp(),
+            bench::llbpx(),
+            bench::llbpx_opt_w(oracle),
+            bench::tsl(512),
+        ];
+        for (i, mut design) in designs.into_iter().enumerate() {
+            let r = bench::run(&mut design, &preset.spec, &sim);
+            ratios[i].push(r.mpki() / base.mpki());
+            cells.push(pct(1.0 - r.mpki() / base.mpki()));
+        }
+        table.row(&cells);
+    }
+    let mut avg = vec!["geomean".into(), "-".into()];
+    for r in &ratios {
+        avg.push(pct(1.0 - geomean(r.iter().copied())));
+    }
+    table.row(&avg);
+    print!("{}", table.render());
+
+    let llbp = 1.0 - geomean(ratios[0].iter().copied());
+    let llbpx = 1.0 - geomean(ratios[1].iter().copied());
+    let optw = 1.0 - geomean(ratios[2].iter().copied());
+    println!("\nLLBP-X vs LLBP improvement: {}", pct(llbpx - llbp));
+    if optw > 0.0 {
+        println!("LLBP-X achieves {:.0}% of Opt-W", 100.0 * llbpx / optw);
+    }
+    bench::footer(
+        &sim,
+        "Fig. 12 (\u{a7}VII-A): LLBP-X reduces MPKI 1.4-27% (avg 12.1%), a 36% \
+         improvement over LLBP (accuracy gain 0.8-11.5%, avg 3.6%); Opt-W \
+         12.6%; 512K TSL 27.5%",
+    );
+}

@@ -1,0 +1,58 @@
+//! Fig. 13: speedup over 64K TSL for LLBP, LLBP-X and the ideal 512K TSL,
+//! on the analytical Table II core (the gem5 stand-in).
+//!
+//! As in the paper, the four Google traces are excluded from the
+//! performance evaluation (their gem5 runs are impossible; here we simply
+//! honor the same subset).
+
+use bpsim::report::{f3, geomean, Table};
+use bpsim::CoreParams;
+
+fn main() {
+    let sim = bench::sim();
+    let core = CoreParams::paper_table2();
+    let mut table = Table::new(
+        "Fig. 13 — speedup over 64K TSL (8-wide OoO model)",
+        &["workload", "LLBP", "LLBP-X", "512K TSL (ideal)"],
+    );
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for preset in bench::presets() {
+        if !preset.in_gem5_eval && std::env::var("REPRO_WORKLOADS").is_err() {
+            continue; // Google traces: trace-only, as in the paper.
+        }
+        let base = bench::run(&mut bench::tsl64(), &preset.spec, &sim);
+        let mut cells = vec![preset.spec.name.clone()];
+        for (i, mut design) in [bench::llbp(), bench::llbpx(), bench::tsl(512)]
+            .into_iter()
+            .enumerate()
+        {
+            let r = bench::run(&mut design, &preset.spec, &sim);
+            let s = core.speedup(&base, &r);
+            speedups[i].push(s);
+            cells.push(f3(s));
+        }
+        table.row(&cells);
+    }
+    let mut avg = vec!["geomean".into()];
+    for s in &speedups {
+        avg.push(f3(geomean(s.iter().copied())));
+    }
+    table.row(&avg);
+    print!("{}", table.render());
+
+    let g = |i: usize| (geomean(speedups[i].iter().copied()) - 1.0) * 100.0;
+    println!(
+        "\naverage speedup: LLBP {:+.2}%, LLBP-X {:+.2}%, 512K TSL {:+.2}%",
+        g(0),
+        g(1),
+        g(2)
+    );
+    if g(2) > 0.0 {
+        println!("LLBP-X captures {:.0}% of the ideal 512K gain (paper: 42%)", 100.0 * g(1) / g(2));
+    }
+    bench::footer(
+        &sim,
+        "Fig. 13 (\u{a7}VII-B): LLBP-X 1% avg speedup (0.08-2.7%), LLBP 0.71%, \
+         ideal 512K TSL 2.4%",
+    );
+}

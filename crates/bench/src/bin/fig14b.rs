@@ -1,0 +1,51 @@
+//! Fig. 14b: LLBP-X vs a 128K TSL under an overriding pipeline.
+//!
+//! Both configurations pay a 3-cycle bubble whenever the slow component
+//! (TAGE/SC) overturns the 1-cycle first guess (bimodal + LLBP's pattern
+//! buffer). LLBP-X's PB answers in the first cycle, so its provided
+//! predictions never pay the bubble — the structural advantage §VII-C
+//! describes.
+
+use bpsim::report::{f3, geomean, Table};
+use bpsim::CoreParams;
+
+fn main() {
+    let sim = bench::sim();
+    let core = CoreParams::paper_table2_overriding();
+    let mut table = Table::new(
+        "Fig. 14b — speedup over 64K TSL in a 3-cycle overriding scheme",
+        &["workload", "128K TSL", "LLBP-X"],
+    );
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); 2];
+    for preset in bench::presets() {
+        if !preset.in_gem5_eval && std::env::var("REPRO_WORKLOADS").is_err() {
+            continue;
+        }
+        let base = bench::run(&mut bench::tsl64(), &preset.spec, &sim);
+        let mut cells = vec![preset.spec.name.clone()];
+        for (i, mut design) in [bench::tsl(128), bench::llbpx()].into_iter().enumerate() {
+            let r = bench::run(&mut design, &preset.spec, &sim);
+            let s = core.speedup(&base, &r);
+            speedups[i].push(s);
+            cells.push(f3(s));
+        }
+        table.row(&cells);
+    }
+    let mut avg = vec!["geomean".into()];
+    for s in &speedups {
+        avg.push(f3(geomean(s.iter().copied())));
+    }
+    table.row(&avg);
+    print!("{}", table.render());
+
+    println!(
+        "\naverage speedup: 128K TSL {:+.2}%, LLBP-X {:+.2}%",
+        (geomean(speedups[0].iter().copied()) - 1.0) * 100.0,
+        (geomean(speedups[1].iter().copied()) - 1.0) * 100.0
+    );
+    bench::footer(
+        &sim,
+        "Fig. 14b (\u{a7}VII-C): with overriding, 128K TSL gains 0.6% while \
+         LLBP-X gains 1.4% over 64K TSL",
+    );
+}

@@ -1,0 +1,48 @@
+//! Fig. 15a: pattern-store transfer bandwidth (bits per instruction) of
+//! LLBP vs LLBP-X, split into reads and writes (288-bit transactions).
+
+use bpsim::report::{f3, mean, pct, Table};
+
+fn main() {
+    let sim = bench::sim();
+    let mut table = Table::new(
+        "Fig. 15a — pattern store <-> pattern buffer transfer (bits/instr)",
+        &["workload", "LLBP reads", "LLBP writes", "X reads", "X writes", "total change"],
+    );
+    let mut totals: Vec<Vec<f64>> = vec![Vec::new(); 2];
+    for preset in bench::presets() {
+        let rl = bench::run(&mut bench::llbp(), &preset.spec, &sim);
+        let rx = bench::run(&mut bench::llbpx(), &preset.spec, &sim);
+        let (lr, lw) = rl
+            .llbp
+            .as_ref()
+            .expect("LLBP stats")
+            .transfer_bits_per_instruction(rl.instructions);
+        let (xr, xw) = rx
+            .llbp
+            .as_ref()
+            .expect("LLBP-X stats")
+            .transfer_bits_per_instruction(rx.instructions);
+        totals[0].push(lr + lw);
+        totals[1].push(xr + xw);
+        table.row(&[
+            preset.spec.name.clone(),
+            f3(lr),
+            f3(lw),
+            f3(xr),
+            f3(xw),
+            pct((xr + xw) / (lr + lw).max(1e-12) - 1.0),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let llbp_total = mean(totals[0].iter().copied());
+    let x_total = mean(totals[1].iter().copied());
+    println!("\naverage bits/instruction: LLBP {llbp_total:.2}, LLBP-X {x_total:.2}");
+    println!("LLBP-X bandwidth change: {}", pct(x_total / llbp_total - 1.0));
+    bench::footer(
+        &sim,
+        "Fig. 15a (\u{a7}VII-D): reads dominate (writes ~1/5); LLBP-X moves 9.9 \
+         bits/instr vs LLBP's 10.6 (-6.1%)",
+    );
+}

@@ -1,0 +1,24 @@
+//! Table I: the fourteen workloads with their 64K TSL branch MPKI.
+//!
+//! Regenerates the paper's Table I (absolute MPKI of the baseline 64 KiB
+//! TAGE-SC-L on every workload; paper range 0.26-5.38, average 2.92).
+
+use bpsim::report::{f3, mean, Table};
+
+fn main() {
+    let sim = bench::sim();
+    let mut table = Table::new(
+        "Table I — workloads with branch MPKI for 64K TSL",
+        &["workload", "measured MPKI", "paper MPKI"],
+    );
+    let mut measured = Vec::new();
+    for preset in bench::presets() {
+        let mut tsl = bench::tsl64();
+        let result = bench::run(&mut tsl, &preset.spec, &sim);
+        measured.push(result.mpki());
+        table.row(&[preset.spec.name.clone(), f3(result.mpki()), f3(preset.paper_mpki)]);
+    }
+    table.row(&["average".into(), f3(mean(measured)), "2.92".into()]);
+    print!("{}", table.render());
+    bench::footer(&sim, "Table I (\u{a7}VI): absolute MPKI 0.26-5.38, avg 2.92");
+}

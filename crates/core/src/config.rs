@@ -1,0 +1,560 @@
+//! Configuration of the LLBP and LLBP-X hierarchical predictors, including
+//! every limit-study knob of the paper's §III-A (Fig. 5).
+
+use tage::{TslConfig, HISTORY_LENGTHS, NUM_TABLES};
+
+/// Which history-length slots a pattern set supports, and how they are
+/// organized.
+///
+/// The original LLBP keeps 16 of TAGE's 21 lengths in 4 buckets of 4
+/// (§II-C.4); the "+ No Design Tweaks" limit config keeps all 21, fully
+/// associative. LLBP-X partitions by context depth (§V-C): shallow contexts
+/// use the first 16 lengths (6..=232), deep contexts the last 16 (37..=3000).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LengthSet {
+    /// `HISTORY_LENGTHS` indices supported, ascending.
+    slots: Vec<u8>,
+    /// Bucketed (4 buckets × 4 slots) or fully associative.
+    bucketed: bool,
+}
+
+impl LengthSet {
+    /// The original LLBP selection: 16 of the 21 lengths, bucketed.
+    ///
+    /// We drop the five least-pattern-bearing intermediate lengths
+    /// (indices 1, 4, 8, 12, 14), keeping both endpoints of the range.
+    pub fn llbp_default() -> Self {
+        let drop = [1usize, 4, 8, 12, 14];
+        let slots = (0..NUM_TABLES)
+            .filter(|i| !drop.contains(i))
+            .map(|i| i as u8)
+            .collect();
+        LengthSet { slots, bucketed: true }
+    }
+
+    /// All 21 TAGE lengths, fully associative (limit study).
+    pub fn all_lengths() -> Self {
+        LengthSet { slots: (0..NUM_TABLES as u8).collect(), bucketed: false }
+    }
+
+    /// LLBP-X shallow range: the first 16 lengths (6..=232), bucketed.
+    pub fn shallow_range() -> Self {
+        LengthSet { slots: (0..16).collect(), bucketed: true }
+    }
+
+    /// LLBP-X deep range: the last 16 lengths (37..=3000), bucketed.
+    pub fn deep_range() -> Self {
+        LengthSet { slots: (NUM_TABLES as u8 - 16..NUM_TABLES as u8).collect(), bucketed: true }
+    }
+
+    /// Supported slots (ascending `HISTORY_LENGTHS` indices).
+    pub fn slots(&self) -> &[u8] {
+        &self.slots
+    }
+
+    /// Whether the organization is bucketed.
+    pub fn bucketed(&self) -> bool {
+        self.bucketed
+    }
+
+    /// Number of supported slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no lengths are supported (never constructed).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether `len_idx` is a supported history length.
+    pub fn contains(&self, len_idx: u8) -> bool {
+        self.slots.binary_search(&len_idx).is_ok()
+    }
+
+    /// Bucket of a supported slot (0..4), or 0 when fully associative.
+    ///
+    /// Buckets split the supported slots evenly by rank, so each bucket
+    /// covers a contiguous history-length range (§II-C.4).
+    pub fn bucket_of(&self, len_idx: u8) -> usize {
+        if !self.bucketed {
+            return 0;
+        }
+        let rank = self.slots.binary_search(&len_idx).unwrap_or(0);
+        rank * 4 / self.len().max(1)
+    }
+
+    /// Smallest supported slot whose history length strictly exceeds
+    /// `min_bits`. Returns `None` when even the longest is too short.
+    pub fn next_longer(&self, min_bits: usize) -> Option<u8> {
+        self.slots.iter().copied().find(|&s| HISTORY_LENGTHS[s as usize] > min_bits)
+    }
+}
+
+/// How pattern-set prefetches interact with wrong-path execution
+/// (Fig. 14a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FalsePathMode {
+    /// Keep prefetches triggered by wrong-path instructions (default):
+    /// more over-prefetch, better coverage.
+    #[default]
+    Include,
+    /// Flush not-yet-consumed prefetches on a misprediction: fewer
+    /// over-prefetches, slightly worse coverage and accuracy.
+    Flush,
+}
+
+/// Configuration of the baseline LLBP (§II-C) plus the limit-study knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LlbpConfig {
+    /// Baseline TSL under the hierarchy (the paper pairs LLBP with 64K TSL).
+    pub tsl: TslConfig,
+    /// Human-readable label for reports.
+    pub label: String,
+
+    // Context directory / pattern store --------------------------------
+    /// log2 of context-directory sets (2^11 sets × 7 ways = 14336 contexts).
+    pub cd_log2_sets: u32,
+    /// Context-directory associativity.
+    pub cd_ways: usize,
+    /// Context tag bits stored in the CD (31 in the +Inf Contexts study).
+    pub context_tag_bits: u32,
+    /// Unbounded context storage (the "+ Inf Contexts" limit config).
+    pub infinite_contexts: bool,
+
+    // Pattern sets ------------------------------------------------------
+    /// Patterns per pattern set (16 in hardware).
+    pub patterns_per_set: usize,
+    /// Unbounded patterns per set (the "+ Inf Patterns" limit config).
+    pub infinite_patterns: bool,
+    /// Pattern tag width (13 in hardware, 20 in the "+ 20b Tag" study).
+    pub pattern_tag_bits: u32,
+    /// Supported history lengths and their organization.
+    pub lengths: LengthSet,
+    /// Suppress the statistical corrector when LLBP provides (§II-C.4
+    /// design tweak; disabled in "+ No Design Tweaks").
+    pub suppress_sc: bool,
+
+    // Context formation ---------------------------------------------------
+    /// Context depth W: unconditional branches hashed into the context ID.
+    pub w: usize,
+    /// Skip depth D: most recent UBs excluded, creating the prefetch window.
+    pub d: usize,
+    /// Replace the RCR hash with the branch PC ("+ No Contextualization").
+    pub no_contextualization: bool,
+
+    // Pattern buffer / timing ----------------------------------------------
+    /// Pattern-buffer entries.
+    pub pb_entries: usize,
+    /// Prefetch latency in branch events (0 = the 0-latency idealization).
+    pub latency_events: u64,
+    /// Wrong-path prefetch handling.
+    pub false_path: FalsePathMode,
+
+    /// Collect per-context/per-pattern analysis statistics (Figs. 6-9).
+    /// Costs memory and time; off for plain MPKI runs.
+    pub analysis: bool,
+}
+
+impl LlbpConfig {
+    /// The hardware LLBP of the paper: 515 KiB total, W=8, D=4, 14K
+    /// contexts, 16 patterns per set, 13-bit tags, 16 history lengths,
+    /// 6-cycle access latency (modelled as a 3-branch-event prefetch
+    /// delay), over a 64K TSL.
+    pub fn paper_baseline() -> Self {
+        LlbpConfig {
+            tsl: TslConfig::kilobytes(64),
+            label: "LLBP".to_owned(),
+            cd_log2_sets: 11,
+            cd_ways: 7,
+            context_tag_bits: 14,
+            infinite_contexts: false,
+            patterns_per_set: 16,
+            infinite_patterns: false,
+            pattern_tag_bits: 13,
+            lengths: LengthSet::llbp_default(),
+            suppress_sc: true,
+            w: 8,
+            d: 4,
+            no_contextualization: false,
+            pb_entries: 64,
+            latency_events: 8,
+            false_path: FalsePathMode::Include,
+            analysis: false,
+        }
+    }
+
+    /// The 0-cycle-access-latency LLBP (LLBP-0Lat).
+    pub fn zero_latency() -> Self {
+        LlbpConfig {
+            latency_events: 0,
+            label: "LLBP-0Lat".to_owned(),
+            ..LlbpConfig::paper_baseline()
+        }
+    }
+
+    /// Limit study step 1 (+ No Design Tweaks): fully associative sets,
+    /// all 21 lengths, SC override re-enabled. 0-latency.
+    pub fn no_design_tweaks() -> Self {
+        LlbpConfig {
+            lengths: LengthSet::all_lengths(),
+            suppress_sc: false,
+            label: "+No Design Tweaks".to_owned(),
+            ..LlbpConfig::zero_latency()
+        }
+    }
+
+    /// Limit study step 2 (+ 20b Tag).
+    pub fn with_20b_tags() -> Self {
+        LlbpConfig {
+            pattern_tag_bits: 20,
+            label: "+20b Tag".to_owned(),
+            ..LlbpConfig::no_design_tweaks()
+        }
+    }
+
+    /// Limit study step 3 (+ Inf Contexts): unlimited contexts, 31-bit tags.
+    pub fn with_infinite_contexts() -> Self {
+        LlbpConfig {
+            infinite_contexts: true,
+            context_tag_bits: 31,
+            label: "+Inf Contexts".to_owned(),
+            ..LlbpConfig::with_20b_tags()
+        }
+    }
+
+    /// Limit study step 4 (+ Inf Patterns): unlimited patterns per set.
+    pub fn with_infinite_patterns() -> Self {
+        LlbpConfig {
+            infinite_patterns: true,
+            label: "+Inf Patterns".to_owned(),
+            ..LlbpConfig::with_infinite_contexts()
+        }
+    }
+
+    /// Limit study step 5 (+ No Contextualization): the branch PC is the
+    /// context ID.
+    pub fn without_contextualization() -> Self {
+        LlbpConfig {
+            no_contextualization: true,
+            label: "+No Contextualization".to_owned(),
+            ..LlbpConfig::with_infinite_patterns()
+        }
+    }
+
+    /// Sets the context depth W (Figs. 8 and 9 sweep this).
+    pub fn with_w(mut self, w: usize) -> Self {
+        self.w = w;
+        self
+    }
+
+    /// Scales the context directory; `log2_sets` with 7 ways (Fig. 16a
+    /// sweeps 8K..128K contexts).
+    pub fn with_cd_log2_sets(mut self, log2_sets: u32) -> Self {
+        self.cd_log2_sets = log2_sets;
+        self
+    }
+
+    /// Replaces the baseline TSL (Fig. 16b pairs LLBP-X with smaller TAGEs).
+    pub fn with_tsl(mut self, tsl: TslConfig) -> Self {
+        self.tsl = tsl;
+        self
+    }
+
+    /// Renames for reports.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Enables per-context/per-pattern analysis statistics.
+    pub fn with_analysis(mut self) -> Self {
+        self.analysis = true;
+        self
+    }
+
+    /// Total contexts in the directory.
+    pub fn total_contexts(&self) -> usize {
+        (1usize << self.cd_log2_sets) * self.cd_ways
+    }
+
+    /// Bits of one stored pattern: tag + 3-bit counter + 2-bit length
+    /// selector (16 patterns × 18 bits = the paper's 288-bit transaction).
+    pub fn pattern_bits(&self) -> u64 {
+        u64::from(self.pattern_tag_bits) + 3 + 2
+    }
+
+    /// Storage of the second level in bits (pattern store + CD + PB + RCR).
+    ///
+    /// Returns `u64::MAX` for the unbounded limit-study configurations.
+    pub fn storage_bits(&self) -> u64 {
+        if self.infinite_contexts || self.infinite_patterns {
+            return u64::MAX;
+        }
+        let set_bits = self.patterns_per_set as u64 * self.pattern_bits();
+        let store = self.total_contexts() as u64 * set_bits;
+        let cd = self.total_contexts() as u64 * (u64::from(self.context_tag_bits) + 2);
+        let pb = self.pb_entries as u64 * set_bits;
+        let rcr = self.w as u64 * 28;
+        store + cd + pb + rcr
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cd_ways == 0 || self.pb_entries == 0 {
+            return Err("cd_ways and pb_entries must be positive".into());
+        }
+        if self.patterns_per_set == 0 && !self.infinite_patterns {
+            return Err("patterns_per_set must be positive".into());
+        }
+        if !(8..=31).contains(&self.pattern_tag_bits) {
+            return Err("pattern_tag_bits out of range".into());
+        }
+        if self.w == 0 && !self.no_contextualization {
+            return Err("w must be positive".into());
+        }
+        if self.lengths.is_empty() {
+            return Err("length set must not be empty".into());
+        }
+        if self.lengths.bucketed() && !self.lengths.len().is_multiple_of(4) {
+            return Err("bucketed length sets must split into 4 buckets".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for LlbpConfig {
+    fn default() -> Self {
+        LlbpConfig::paper_baseline()
+    }
+}
+
+/// Configuration of LLBP-X's dynamic context depth adaptation (§V).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LlbpxConfig {
+    /// Everything shared with the baseline (W is superseded by the two
+    /// depths below).
+    pub base: LlbpConfig,
+    /// Shallow context depth (default 2).
+    pub w_shallow: usize,
+    /// Deep context depth (default 64).
+    pub w_deep: usize,
+    /// log2 of CTT sets (2^10 sets × 6 ways = 6K entries, 9 KiB).
+    pub ctt_log2_sets: u32,
+    /// CTT associativity.
+    pub ctt_ways: usize,
+    /// CTT tag bits (6 in the paper).
+    pub ctt_tag_bits: u32,
+    /// Confident patterns in a set before the PB raises the overflow
+    /// signal (7 in the paper).
+    pub overflow_threshold: u32,
+    /// History-length threshold H_th steering avg-hist-len (232).
+    pub h_th: usize,
+    /// Saturation value of the 3-bit avg-hist-len counter (7).
+    pub avg_hist_saturation: u8,
+    /// Partition history lengths by depth (§V-C); disabling this keeps the
+    /// original LLBP 16-length set for both depths (ablation §VII-E).
+    pub history_range_selection: bool,
+}
+
+impl LlbpxConfig {
+    /// The paper's LLBP-X: CTT 6K entries 6-way, overflow at 7 confident
+    /// patterns, H_th = 232, shallow 6..=232 / deep 37..=3000 ranges.
+    pub fn paper_baseline() -> Self {
+        LlbpxConfig {
+            base: LlbpConfig {
+                label: "LLBP-X".to_owned(),
+                ..LlbpConfig::paper_baseline()
+            },
+            w_shallow: 2,
+            w_deep: 64,
+            ctt_log2_sets: 10,
+            ctt_ways: 6,
+            ctt_tag_bits: 6,
+            overflow_threshold: 7,
+            h_th: 232,
+            avg_hist_saturation: 7,
+            history_range_selection: true,
+        }
+    }
+
+    /// 0-latency LLBP-X (capacity sensitivity studies).
+    pub fn zero_latency() -> Self {
+        let mut cfg = LlbpxConfig::paper_baseline();
+        cfg.base.latency_events = 0;
+        cfg.base.label = "LLBP-X-0Lat".to_owned();
+        cfg
+    }
+
+    /// Sets H_th (§VII-F sweeps 37..=1444).
+    pub fn with_h_th(mut self, h_th: usize) -> Self {
+        self.h_th = h_th;
+        self
+    }
+
+    /// Sets the CTT capacity (§VII-F sweeps 4K..=8K entries with 1K sets).
+    pub fn with_ctt_entries(mut self, entries: usize) -> Self {
+        assert!(entries.is_multiple_of(1 << self.ctt_log2_sets), "entries must fill whole ways");
+        self.ctt_ways = entries / (1 << self.ctt_log2_sets);
+        self
+    }
+
+    /// Disables history range selection (optimization breakdown, §VII-E).
+    pub fn without_history_range_selection(mut self) -> Self {
+        self.history_range_selection = false;
+        self
+    }
+
+    /// Total CTT entries.
+    pub fn ctt_entries(&self) -> usize {
+        (1usize << self.ctt_log2_sets) * self.ctt_ways
+    }
+
+    /// CTT storage in bits: 6b tag + 3b avg-hist-len + 1b depth + 2b
+    /// replacement per entry (the paper's 9 KiB).
+    pub fn ctt_storage_bits(&self) -> u64 {
+        self.ctt_entries() as u64
+            * (u64::from(self.ctt_tag_bits) + u64::from(self.avg_hist_saturation.ilog2() + 1) + 1 + 2)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.base.validate()?;
+        if self.w_shallow == 0 || self.w_deep <= self.w_shallow {
+            return Err("need 0 < w_shallow < w_deep".into());
+        }
+        if self.ctt_ways == 0 {
+            return Err("ctt_ways must be positive".into());
+        }
+        if self.overflow_threshold == 0
+            || self.overflow_threshold > self.base.patterns_per_set as u32
+        {
+            return Err("overflow_threshold must be in 1..=patterns_per_set".into());
+        }
+        if !HISTORY_LENGTHS.contains(&self.h_th) {
+            return Err(format!("h_th {} is not a TAGE history length", self.h_th));
+        }
+        Ok(())
+    }
+}
+
+impl Default for LlbpxConfig {
+    fn default() -> Self {
+        LlbpxConfig::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configs_validate() {
+        assert_eq!(LlbpConfig::paper_baseline().validate(), Ok(()));
+        assert_eq!(LlbpConfig::zero_latency().validate(), Ok(()));
+        assert_eq!(LlbpConfig::no_design_tweaks().validate(), Ok(()));
+        assert_eq!(LlbpConfig::with_20b_tags().validate(), Ok(()));
+        assert_eq!(LlbpConfig::with_infinite_contexts().validate(), Ok(()));
+        assert_eq!(LlbpConfig::with_infinite_patterns().validate(), Ok(()));
+        assert_eq!(LlbpConfig::without_contextualization().validate(), Ok(()));
+        assert_eq!(LlbpxConfig::paper_baseline().validate(), Ok(()));
+    }
+
+    #[test]
+    fn paper_llbp_has_14k_contexts_and_515kb() {
+        let cfg = LlbpConfig::paper_baseline();
+        assert_eq!(cfg.total_contexts(), 14336);
+        let kib = cfg.storage_bits() as f64 / 8.0 / 1024.0;
+        // Paper: 515 KB of second-level storage.
+        assert!((490.0..=540.0).contains(&kib), "LLBP storage was {kib:.0} KiB");
+        assert_eq!(cfg.patterns_per_set as u64 * cfg.pattern_bits(), 288);
+    }
+
+    #[test]
+    fn llbp_default_lengths_keep_16_of_21_with_endpoints() {
+        let set = LengthSet::llbp_default();
+        assert_eq!(set.len(), 16);
+        assert!(set.contains(0), "must keep length 6");
+        assert!(set.contains(NUM_TABLES as u8 - 1), "must keep length 3000");
+    }
+
+    #[test]
+    fn shallow_and_deep_ranges_match_the_paper() {
+        let shallow = LengthSet::shallow_range();
+        let deep = LengthSet::deep_range();
+        assert_eq!(shallow.len(), 16);
+        assert_eq!(deep.len(), 16);
+        assert_eq!(HISTORY_LENGTHS[*shallow.slots().first().unwrap() as usize], 6);
+        assert_eq!(HISTORY_LENGTHS[*shallow.slots().last().unwrap() as usize], 232);
+        assert_eq!(HISTORY_LENGTHS[*deep.slots().first().unwrap() as usize], 37);
+        assert_eq!(HISTORY_LENGTHS[*deep.slots().last().unwrap() as usize], 3000);
+    }
+
+    #[test]
+    fn buckets_split_supported_slots_evenly() {
+        let set = LengthSet::llbp_default();
+        let mut per_bucket = [0usize; 4];
+        for &s in set.slots() {
+            per_bucket[set.bucket_of(s)] += 1;
+        }
+        assert_eq!(per_bucket, [4, 4, 4, 4]);
+        // Buckets must be ordered by history length.
+        for w in set.slots().windows(2) {
+            assert!(set.bucket_of(w[0]) <= set.bucket_of(w[1]));
+        }
+    }
+
+    #[test]
+    fn next_longer_respects_the_supported_set() {
+        let set = LengthSet::llbp_default();
+        let idx = set.next_longer(0).expect("shortest exists");
+        assert_eq!(HISTORY_LENGTHS[idx as usize], 6);
+        let idx = set.next_longer(232).expect("longer than 232 exists");
+        assert!(HISTORY_LENGTHS[idx as usize] > 232);
+        assert_eq!(set.next_longer(3000), None);
+    }
+
+    #[test]
+    fn limit_study_configs_are_unbounded() {
+        assert_eq!(LlbpConfig::with_infinite_contexts().storage_bits(), u64::MAX);
+        assert!(LlbpConfig::with_infinite_patterns().infinite_patterns);
+        assert!(LlbpConfig::without_contextualization().no_contextualization);
+        assert_eq!(LlbpConfig::with_20b_tags().pattern_tag_bits, 20);
+    }
+
+    #[test]
+    fn ctt_is_9kib_with_6k_entries() {
+        let cfg = LlbpxConfig::paper_baseline();
+        assert_eq!(cfg.ctt_entries(), 6144);
+        let kib = cfg.ctt_storage_bits() as f64 / 8.0 / 1024.0;
+        assert!((8.5..=9.5).contains(&kib), "CTT storage was {kib:.2} KiB");
+    }
+
+    #[test]
+    fn ctt_entry_builder_rejects_partial_ways() {
+        let cfg = LlbpxConfig::paper_baseline().with_ctt_entries(4096);
+        assert_eq!(cfg.ctt_ways, 4);
+        let result = std::panic::catch_unwind(|| {
+            LlbpxConfig::paper_baseline().with_ctt_entries(5000)
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_depths() {
+        let mut cfg = LlbpxConfig::paper_baseline();
+        cfg.w_deep = cfg.w_shallow;
+        assert!(cfg.validate().is_err());
+        let mut cfg = LlbpxConfig::paper_baseline();
+        cfg.h_th = 100; // not a TAGE length
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for LLBP's data structures: pattern sets, the
+//! rolling context register, and the context tracking table.
+
+use proptest::prelude::*;
+
+use llbpx::config::LengthSet;
+use llbpx::rcr::Rcr;
+use llbpx::{ContextTrackingTable, PatternSet};
+use tage::NUM_TABLES;
+
+fn arb_length_set() -> impl Strategy<Value = LengthSet> {
+    prop::sample::select(vec![
+        LengthSet::llbp_default(),
+        LengthSet::all_lengths(),
+        LengthSet::shallow_range(),
+        LengthSet::deep_range(),
+    ])
+}
+
+proptest! {
+    /// Finite pattern sets never exceed their capacity, whatever the
+    /// allocation sequence; bucketed sets also respect per-bucket caps.
+    #[test]
+    fn pattern_set_capacity_is_invariant(
+        allowed in arb_length_set(),
+        ops in prop::collection::vec((any::<u32>(), 0usize..16, any::<bool>()), 0..200),
+        capacity in 4usize..32,
+    ) {
+        let mut set = PatternSet::new();
+        let slots: Vec<u8> = allowed.slots().to_vec();
+        for (tag, len_pick, taken) in ops {
+            let len_idx = slots[len_pick % slots.len()];
+            set.allocate(tag, len_idx, taken, Some(capacity), &allowed);
+            prop_assert!(set.len() <= capacity, "set grew past capacity");
+            if allowed.bucketed() {
+                let mut per_bucket = [0usize; 4];
+                for p in set.patterns() {
+                    per_bucket[allowed.bucket_of(p.len_idx)] += 1;
+                }
+                let cap = (capacity / 4).max(1);
+                for (b, &n) in per_bucket.iter().enumerate() {
+                    prop_assert!(n <= cap, "bucket {} holds {} > {}", b, n, cap);
+                }
+            }
+        }
+    }
+
+    /// A found match always corresponds to a stored pattern whose tag
+    /// matches the query and whose length is maximal among matches.
+    #[test]
+    fn find_longest_returns_the_longest_true_match(
+        allowed in arb_length_set(),
+        ops in prop::collection::vec((any::<u32>(), 0usize..16, any::<bool>()), 1..60),
+        query in prop::collection::vec(any::<u32>(), NUM_TABLES..=NUM_TABLES),
+    ) {
+        let mut set = PatternSet::new();
+        let slots: Vec<u8> = allowed.slots().to_vec();
+        for (tag, len_pick, taken) in ops {
+            set.allocate(tag & 0x1fff, slots[len_pick % slots.len()], taken, None, &allowed);
+        }
+        let query: Vec<u32> = query.into_iter().map(|t| t & 0x1fff).collect();
+        match set.find_longest(&query, &allowed) {
+            Some(m) => {
+                let p = set.patterns()[m.slot];
+                prop_assert_eq!(p.len_idx, m.len_idx);
+                prop_assert_eq!(p.tag, query[p.len_idx as usize]);
+                for other in set.patterns() {
+                    if allowed.contains(other.len_idx)
+                        && other.tag == query[other.len_idx as usize]
+                    {
+                        prop_assert!(other.len_idx <= m.len_idx, "missed a longer match");
+                    }
+                }
+            }
+            None => {
+                for p in set.patterns() {
+                    prop_assert!(
+                        !allowed.contains(p.len_idx) || p.tag != query[p.len_idx as usize],
+                        "a match existed but was not found"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Infinite sets deduplicate: allocating the same (tag, len) twice
+    /// never creates a second entry.
+    #[test]
+    fn infinite_sets_deduplicate(
+        pairs in prop::collection::vec((any::<u32>(), 0u8..21, any::<bool>()), 0..100),
+    ) {
+        let allowed = LengthSet::all_lengths();
+        let mut set = PatternSet::new();
+        let mut seen = std::collections::HashSet::new();
+        for (tag, len_idx, taken) in pairs {
+            set.allocate(tag, len_idx, taken, None, &allowed);
+            seen.insert((tag, len_idx));
+        }
+        prop_assert_eq!(set.len(), seen.len());
+    }
+
+    /// The RCR context ID is a pure function of the last W pushes.
+    #[test]
+    fn rcr_depends_only_on_window(
+        prefix_a in prop::collection::vec(any::<u64>(), 0..60),
+        prefix_b in prop::collection::vec(any::<u64>(), 0..60),
+        window in prop::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let w = window.len();
+        let build = |prefix: &[u64]| {
+            let mut r = Rcr::new();
+            for &pc in prefix.iter().chain(window.iter()) {
+                r.push(pc);
+            }
+            r.context_id(w)
+        };
+        prop_assert_eq!(build(&prefix_a), build(&prefix_b));
+    }
+
+    /// Distinct windows essentially never collide (64-bit hash).
+    #[test]
+    fn rcr_distinguishes_windows(
+        (a, b) in (2usize..16).prop_flat_map(|len| {
+            (
+                prop::collection::vec(any::<u64>(), len..=len),
+                prop::collection::vec(any::<u64>(), len..=len),
+            )
+        }),
+    ) {
+        prop_assume!(a != b);
+        let id = |pcs: &[u64]| {
+            let mut r = Rcr::new();
+            for &pc in pcs {
+                r.push(pc);
+            }
+            r.context_id(pcs.len())
+        };
+        prop_assert_ne!(id(&a), id(&b));
+    }
+
+    /// CTT depth bit obeys the saturating-counter contract: it can only be
+    /// deep after at least `saturation` net-long observations, and reverts
+    /// only after decaying to zero.
+    #[test]
+    fn ctt_depth_follows_counter_semantics(
+        observations in prop::collection::vec(any::<bool>(), 0..300),
+        saturation in 2u8..8,
+    ) {
+        let mut ctt = ContextTrackingTable::new(2, 2, 8, saturation);
+        ctt.begin_tracking(0x42);
+        let mut counter: i32 = 0;
+        let mut deep = false;
+        for &long in &observations {
+            let got = ctt.observe_allocation(0x42, long);
+            if long {
+                counter = (counter + 1).min(i32::from(saturation));
+                if counter == i32::from(saturation) {
+                    deep = true;
+                }
+            } else {
+                counter = (counter - 1).max(0);
+                if counter == 0 {
+                    deep = false;
+                }
+            }
+            prop_assert_eq!(got, deep, "model and hardware disagree");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Execution-driven frontend/pipeline timing model.
+//!
+//! The paper's performance numbers (Figs. 13, 14b) come from gem5 running
+//! the Table II core. `bpsim::timing` reproduces them with Top-Down
+//! arithmetic; this crate goes one level deeper with an execution-driven
+//! model of the machine's *frontend*, which is where branch prediction
+//! matters:
+//!
+//! * block-based fetch: a taken branch terminates the fetch group, so
+//!   code layout and taken-branch density set the fetch bandwidth;
+//! * a 16K-entry 8-way **BTB** (Table II) providing taken-branch targets,
+//!   with decode-time redirect penalties on misses;
+//! * a **return address stack** predicting return targets;
+//! * direction mispredictions (from the real branch predictor under test)
+//!   costing a full pipeline resteer;
+//! * a retire-bandwidth backend bound with a deterministic long-latency
+//!   stall component.
+//!
+//! The model *drives* the predictor itself, so prediction accuracy,
+//! fetch-block structure and BTB behaviour interact exactly as in an
+//! execution-driven simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use pipeline::{PipelineModel, PipelineParams};
+//! use tage::{TageScl, TslConfig};
+//! use traces::StreamExt;
+//! use workloads::ServerWorkload;
+//!
+//! let spec = workloads::presets::by_name("Chirper").unwrap();
+//! let mut model = PipelineModel::new(PipelineParams::paper_table2());
+//! let mut predictor = TageScl::new(TslConfig::kilobytes(64));
+//! let stream = ServerWorkload::new(&spec).take_branches(50_000);
+//! let result = model.run(&mut predictor, stream);
+//! assert!(result.ipc() > 0.5 && result.ipc() < 8.0);
+//! ```
+
+pub mod btb;
+pub mod core;
+pub mod ras;
+
+pub use crate::core::{PipelineModel, PipelineParams, PipelineResult};
+pub use btb::Btb;
+pub use ras::ReturnAddressStack;

@@ -1,0 +1,81 @@
+//! Simulator-side predictor instrumentation.
+
+use llbpx::{Llbp, LlbpStats};
+use tage::{DirectionPredictor, TageScl};
+
+/// A predictor the simulation runner can drive and instrument.
+///
+/// Extends [`DirectionPredictor`] with end-of-run finalization and optional
+/// access to LLBP's second-level statistics (bandwidth, prefetch classes,
+/// useful patterns) for predictors that have them.
+pub trait SimPredictor: DirectionPredictor {
+    /// Called once after the measurement phase (e.g. drain the pattern
+    /// buffer so prefetch classifications are final).
+    fn finish(&mut self) {}
+
+    /// Second-level statistics, for hierarchical predictors.
+    fn llbp_stats(&self) -> Option<&LlbpStats> {
+        None
+    }
+
+    /// Whether the most recent conditional prediction was available in the
+    /// pipeline's first cycle (bimodal-adjacent), e.g. from LLBP's pattern
+    /// buffer. Used by the overriding-pipeline model (§VII-C).
+    fn first_cycle_capable_last(&self) -> bool {
+        false
+    }
+}
+
+impl SimPredictor for TageScl {}
+
+impl SimPredictor for Llbp {
+    fn finish(&mut self) {
+        Llbp::finish(self);
+    }
+
+    fn llbp_stats(&self) -> Option<&LlbpStats> {
+        Some(self.stats())
+    }
+
+    fn first_cycle_capable_last(&self) -> bool {
+        self.provided_last()
+    }
+}
+
+impl<P: SimPredictor + ?Sized> SimPredictor for Box<P> {
+    fn finish(&mut self) {
+        (**self).finish();
+    }
+    fn llbp_stats(&self) -> Option<&LlbpStats> {
+        (**self).llbp_stats()
+    }
+    fn first_cycle_capable_last(&self) -> bool {
+        (**self).first_cycle_capable_last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llbpx::LlbpConfig;
+    use tage::TslConfig;
+
+    #[test]
+    fn tsl_has_no_second_level_stats() {
+        let tsl = TageScl::new(TslConfig::kilobytes(64));
+        assert!(tsl.llbp_stats().is_none());
+    }
+
+    #[test]
+    fn llbp_exposes_second_level_stats() {
+        let llbp = Llbp::new(LlbpConfig::paper_baseline());
+        assert!(llbp.llbp_stats().is_some());
+    }
+
+    #[test]
+    fn boxed_predictors_delegate() {
+        let boxed: Box<dyn SimPredictor> = Box::new(Llbp::new(LlbpConfig::paper_baseline()));
+        assert!(boxed.llbp_stats().is_some());
+        assert_eq!(boxed.name(), "LLBP");
+    }
+}

@@ -1,0 +1,235 @@
+//! The simulation driver: warmup, measurement, result collection.
+
+use llbpx::LlbpStats;
+use tage::bimodal::Bimodal;
+use traces::BranchStream;
+use workloads::{ServerWorkload, WorkloadSpec};
+
+use crate::predictor::SimPredictor;
+
+/// Result of one predictor × workload run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Predictor label.
+    pub name: String,
+    /// Workload name.
+    pub workload: String,
+    /// Instructions in the measurement phase.
+    pub instructions: u64,
+    /// Conditional branches measured.
+    pub cond_branches: u64,
+    /// Final mispredictions.
+    pub mispredicts: u64,
+    /// Measured branches whose final prediction differed from the 1-cycle
+    /// first guess (bimodal, or LLBP's pattern buffer when it provided) —
+    /// the override bubbles of the overriding pipeline model (§VII-C).
+    pub override_candidates: u64,
+    /// Second-level statistics (hierarchical predictors only), snapshot
+    /// after [`SimPredictor::finish`].
+    pub llbp: Option<LlbpStats>,
+}
+
+impl RunResult {
+    /// Mispredictions per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Fractional MPKI reduction relative to `base` (positive = better).
+    pub fn reduction_vs(&self, base: &RunResult) -> f64 {
+        if base.mpki() == 0.0 {
+            0.0
+        } else {
+            1.0 - self.mpki() / base.mpki()
+        }
+    }
+}
+
+/// Warmup/measurement protocol, in instructions (the paper warms 100M and
+/// measures 200M; scale to taste via [`Simulation::from_env`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Simulation {
+    /// Instructions to run before measurement starts.
+    pub warmup_instructions: u64,
+    /// Instructions to measure.
+    pub measure_instructions: u64,
+}
+
+impl Simulation {
+    /// Reasonable laptop-scale defaults (10M + 20M instructions).
+    pub fn quick() -> Self {
+        Simulation { warmup_instructions: 10_000_000, measure_instructions: 20_000_000 }
+    }
+
+    /// Reads `REPRO_WARMUP` / `REPRO_INSTRUCTIONS` from the environment
+    /// (instruction counts), falling back to [`Simulation::quick`]. The
+    /// experiment binaries all use this, so one variable rescales every
+    /// figure.
+    pub fn from_env() -> Self {
+        let parse = |key: &str| {
+            std::env::var(key).ok().and_then(|v| v.replace('_', "").parse::<u64>().ok())
+        };
+        let quick = Simulation::quick();
+        Simulation {
+            warmup_instructions: parse("REPRO_WARMUP").unwrap_or(quick.warmup_instructions),
+            measure_instructions: parse("REPRO_INSTRUCTIONS")
+                .unwrap_or(quick.measure_instructions),
+        }
+    }
+
+    /// Runs `predictor` over the workload described by `spec`.
+    ///
+    /// The workload stream is regenerated from the spec's seed, so every
+    /// predictor sees the identical trace.
+    pub fn run<P: SimPredictor + ?Sized>(&self, predictor: &mut P, spec: &WorkloadSpec) -> RunResult {
+        let mut stream = ServerWorkload::new(spec);
+        self.run_stream(predictor, &mut stream, &spec.name)
+    }
+
+    /// Runs `predictor` over an arbitrary branch stream.
+    pub fn run_stream<P, S>(&self, predictor: &mut P, stream: &mut S, workload: &str) -> RunResult
+    where
+        P: SimPredictor + ?Sized,
+        S: BranchStream + ?Sized,
+    {
+        // Warmup.
+        let mut elapsed = 0u64;
+        while elapsed < self.warmup_instructions {
+            let Some(rec) = stream.next_branch() else { break };
+            elapsed += rec.instructions();
+            predictor.process(&rec);
+        }
+        // Second-level counters are cumulative; snapshot them so the
+        // result reports the measurement phase only.
+        let warm_stats = predictor.llbp_stats().cloned();
+
+        // Measurement, with the bimodal shadow for the overriding model.
+        let mut shadow = Bimodal::new(13);
+        let mut result = RunResult {
+            name: predictor.name(),
+            workload: workload.to_owned(),
+            instructions: 0,
+            cond_branches: 0,
+            mispredicts: 0,
+            override_candidates: 0,
+            llbp: None,
+        };
+        while result.instructions < self.measure_instructions {
+            let Some(rec) = stream.next_branch() else { break };
+            result.instructions += rec.instructions();
+            let pred = predictor.process(&rec);
+            if let Some(pred) = pred {
+                result.cond_branches += 1;
+                if pred != rec.taken {
+                    result.mispredicts += 1;
+                }
+                // PB-provided predictions are first-cycle and never bubble.
+                if pred != shadow.predict(rec.pc) && !predictor.first_cycle_capable_last() {
+                    result.override_candidates += 1;
+                }
+                shadow.update(rec.pc, rec.taken);
+            }
+        }
+        predictor.finish();
+        result.llbp = predictor.llbp_stats().map(|end| match &warm_stats {
+            Some(start) => end.delta_since(start),
+            None => end.clone(),
+        });
+        result
+    }
+}
+
+/// Convenience: one warmed-up run of each provided predictor over the same
+/// workload, in order.
+pub fn compare<'a>(
+    sim: &Simulation,
+    spec: &WorkloadSpec,
+    predictors: impl IntoIterator<Item = &'a mut (dyn SimPredictor + 'a)>,
+) -> Vec<RunResult> {
+    predictors.into_iter().map(|p| sim.run(p, spec)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llbpx::{Llbp, LlbpConfig};
+    use tage::{TageScl, TslConfig};
+    use traces::VecTrace;
+
+    fn tiny_spec() -> WorkloadSpec {
+        WorkloadSpec::new("tiny", 3).with_request_types(64).with_handlers(8)
+    }
+
+    fn tiny_sim() -> Simulation {
+        Simulation { warmup_instructions: 100_000, measure_instructions: 200_000 }
+    }
+
+    #[test]
+    fn measures_the_requested_instruction_budget() {
+        let r = tiny_sim().run(&mut TageScl::new(TslConfig::kilobytes(64)), &tiny_spec());
+        assert!(r.instructions >= 200_000);
+        assert!(r.instructions < 220_000, "should stop promptly after the budget");
+        assert!(r.cond_branches > 10_000);
+        assert!(r.mpki() > 0.0);
+    }
+
+    #[test]
+    fn identical_runs_are_bit_identical() {
+        let a = tiny_sim().run(&mut TageScl::new(TslConfig::kilobytes(64)), &tiny_spec());
+        let b = tiny_sim().run(&mut TageScl::new(TslConfig::kilobytes(64)), &tiny_spec());
+        assert_eq!(a.mispredicts, b.mispredicts);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.override_candidates, b.override_candidates);
+    }
+
+    #[test]
+    fn llbp_results_carry_second_level_stats() {
+        let r = tiny_sim().run(&mut Llbp::new(LlbpConfig::paper_baseline()), &tiny_spec());
+        let stats = r.llbp.expect("LLBP stats present");
+        assert!(stats.cond_branches > 0);
+        assert_eq!(r.name, "LLBP");
+    }
+
+    #[test]
+    fn reduction_vs_is_signed() {
+        let base = RunResult {
+            name: "a".into(),
+            workload: "w".into(),
+            instructions: 1000,
+            cond_branches: 100,
+            mispredicts: 10,
+            override_candidates: 0,
+            llbp: None,
+        };
+        let better = RunResult { mispredicts: 8, ..base.clone() };
+        let worse = RunResult { mispredicts: 12, ..base.clone() };
+        assert!(better.reduction_vs(&base) > 0.0);
+        assert!(worse.reduction_vs(&base) < 0.0);
+    }
+
+    #[test]
+    fn exhausted_streams_end_the_run_gracefully() {
+        let sim = Simulation { warmup_instructions: 0, measure_instructions: u64::MAX };
+        let mut trace = VecTrace::new(vec![
+            traces::BranchRecord::cond(0x10, 0x20, true, 4),
+            traces::BranchRecord::cond(0x10, 0x20, false, 4),
+        ]);
+        let r = sim.run_stream(&mut TageScl::new(TslConfig::kilobytes(64)), &mut trace, "t");
+        assert_eq!(r.cond_branches, 2);
+        assert_eq!(r.instructions, 10);
+    }
+
+    #[test]
+    fn from_env_falls_back_to_quick() {
+        // Only checks the fallback path (environment mutation is unsafe in
+        // multithreaded test runs).
+        if std::env::var("REPRO_WARMUP").is_err() && std::env::var("REPRO_INSTRUCTIONS").is_err()
+        {
+            assert_eq!(Simulation::from_env(), Simulation::quick());
+        }
+    }
+}

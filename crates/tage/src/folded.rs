@@ -1,0 +1,252 @@
+//! Incrementally folded (compressed) history registers.
+//!
+//! A TAGE table with history length `L` and an index of `w` bits cannot hash
+//! all `L` bits per prediction; hardware keeps a *folded* register that XORs
+//! the history into `w` bits and updates it in O(1) per branch: shift in the
+//! newest bit, XOR out the bit that just left the `L`-bit window.
+//!
+//! [`FoldedHistory`] is shared with the `llbpx` crate, which computes pattern
+//! tags at its own widths (13 / 20 bits) from the same global history.
+
+use crate::history::GlobalHistory;
+
+/// An incrementally maintained `width`-bit fold of the most recent
+/// `length` history bits.
+///
+/// Update protocol: push the new bit into the [`GlobalHistory`] first, then
+/// call [`update`](Self::update) exactly once. The fold then equals the XOR
+/// of the `length`-bit window sliced into `width`-bit chunks, which
+/// [`compute_reference`](Self::compute_reference) evaluates directly (used
+/// for verification).
+///
+/// ```
+/// use tage::{FoldedHistory, GlobalHistory};
+///
+/// let mut h = GlobalHistory::new();
+/// let mut f = FoldedHistory::new(7, 4);
+/// for i in 0..100 {
+///     h.push(i % 5 == 0);
+///     f.update(&h);
+/// }
+/// assert_eq!(f.value(), f.compute_reference(&h));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldedHistory {
+    comp: u64,
+    length: usize,
+    width: u32,
+    /// Bit position `length % width` where the outgoing bit re-enters.
+    out_pos: u32,
+}
+
+impl FoldedHistory {
+    /// Creates a fold of `length` history bits compressed to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or above 32, or `length` is 0.
+    pub fn new(length: usize, width: u32) -> Self {
+        assert!(length > 0, "folded history length must be positive");
+        assert!((1..=32).contains(&width), "folded history width {width} unsupported");
+        FoldedHistory { comp: 0, length, width, out_pos: (length as u32) % width }
+    }
+
+    /// History window length in bits.
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// Compressed width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Current folded value (always `< 2^width`).
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.comp
+    }
+
+    /// Folds in the newest bit of `history` (call after `history.push`).
+    #[inline]
+    pub fn update(&mut self, history: &GlobalHistory) {
+        let inbit = history.bit(0);
+        let outbit = history.bit(self.length);
+        self.comp = (self.comp << 1) | inbit;
+        self.comp ^= outbit << self.out_pos;
+        self.comp ^= self.comp >> self.width;
+        self.comp &= (1u64 << self.width) - 1;
+    }
+
+    /// Recomputes the fold from scratch; O(length), for tests and repair.
+    ///
+    /// The incremental update places the bit of age `a` at position
+    /// `a mod width`: every shift increments positions and the
+    /// `comp ^= comp >> width` step wraps the single overflow bit back to
+    /// position 0, while the `out_pos` XOR cancels the bit aging out of the
+    /// window at position `length mod width`.
+    pub fn compute_reference(&self, history: &GlobalHistory) -> u64 {
+        let mut v = 0u64;
+        for age in 0..self.length {
+            v ^= history.bit(age) << ((age as u32) % self.width);
+        }
+        v
+    }
+}
+
+/// A bundle of folds over the same global history, one per requested
+/// (length, width) pair, updated in lock-step.
+///
+/// TAGE instantiates one set for indices and two for tags; LLBP instantiates
+/// one per pattern history length at its tag width.
+#[derive(Debug, Clone)]
+pub struct FoldedSet {
+    folds: Vec<FoldedHistory>,
+}
+
+impl FoldedSet {
+    /// Builds a set from `(length, width)` pairs.
+    pub fn new(specs: impl IntoIterator<Item = (usize, u32)>) -> Self {
+        FoldedSet {
+            folds: specs.into_iter().map(|(l, w)| FoldedHistory::new(l, w)).collect(),
+        }
+    }
+
+    /// Updates every fold after a history push.
+    #[inline]
+    pub fn update(&mut self, history: &GlobalHistory) {
+        for f in &mut self.folds {
+            f.update(history);
+        }
+    }
+
+    /// Value of fold `i`.
+    #[inline]
+    pub fn value(&self, i: usize) -> u64 {
+        self.folds[i].value()
+    }
+
+    /// Number of folds in the set.
+    pub fn len(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// Returns `true` if the set holds no folds.
+    pub fn is_empty(&self) -> bool {
+        self.folds.is_empty()
+    }
+
+    /// Read-only access to the folds.
+    pub fn folds(&self) -> &[FoldedHistory] {
+        &self.folds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Push `n` pseudorandom bits through history + fold and check the fold
+    /// only depends on the last `length` bits.
+    fn drive(length: usize, width: u32, n: usize, seed: u64) -> (GlobalHistory, FoldedHistory) {
+        let mut h = GlobalHistory::new();
+        let mut f = FoldedHistory::new(length, width);
+        let mut x = seed | 1;
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.push(x & 1 == 1);
+            f.update(&h);
+        }
+        (h, f)
+    }
+
+    #[test]
+    fn fold_is_windowed() {
+        // Two histories with identical last-`length` bits but different
+        // prefixes must fold identically.
+        let length = 37;
+        let width = 9;
+        let tail: Vec<bool> = (0..length).map(|i| i % 3 != 1).collect();
+
+        let run = |prefix: &[bool]| {
+            let mut h = GlobalHistory::new();
+            let mut f = FoldedHistory::new(length, width);
+            for &b in prefix.iter().chain(tail.iter()) {
+                h.push(b);
+                f.update(&h);
+            }
+            f.value()
+        };
+        let a = run(&[true; 100]);
+        let b = run(&[false; 211]);
+        assert_eq!(a, b, "fold must depend only on the last {length} bits");
+    }
+
+    #[test]
+    fn fold_stays_within_width() {
+        for width in [1u32, 5, 11, 13, 20, 32] {
+            let (_, f) = drive(232, width, 5000, 0xabcd);
+            assert!(f.value() < (1u64 << width));
+        }
+    }
+
+    #[test]
+    fn fold_changes_when_history_changes() {
+        let (_, f1) = drive(64, 12, 4000, 1);
+        let (_, f2) = drive(64, 12, 4000, 2);
+        assert_ne!(f1.value(), f2.value(), "different histories should fold differently");
+    }
+
+    #[test]
+    fn reference_matches_incremental() {
+        for (len, width) in [(6, 10), (78, 13), (232, 12), (1444, 11)] {
+            let (h, f) = drive(len, width, 3500, 0x5eed);
+            assert_eq!(f.value(), f.compute_reference(&h), "len={len} width={width}");
+        }
+    }
+
+    #[test]
+    fn width_equal_length_is_a_plain_window() {
+        let mut h = GlobalHistory::new();
+        let mut f = FoldedHistory::new(4, 4);
+        for b in [true, false, true, true] {
+            h.push(b);
+            f.update(&h);
+        }
+        // Bit position equals age: newest (true) at bit 0, then true,
+        // false, true at ages 1..3 → 0b1011.
+        assert_eq!(f.value(), 0b1011);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_is_rejected() {
+        let _ = FoldedHistory::new(10, 0);
+    }
+
+    #[test]
+    fn folded_set_updates_in_lockstep() {
+        let mut h = GlobalHistory::new();
+        let mut set = FoldedSet::new([(6usize, 10u32), (37, 13), (232, 12)]);
+        let mut singles: Vec<FoldedHistory> =
+            vec![FoldedHistory::new(6, 10), FoldedHistory::new(37, 13), FoldedHistory::new(232, 12)];
+        let mut x = 0x1234u64 | 1;
+        for _ in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.push(x & 1 == 1);
+            set.update(&h);
+            for s in &mut singles {
+                s.update(&h);
+            }
+        }
+        for (i, s) in singles.iter().enumerate() {
+            assert_eq!(set.value(i), s.value());
+        }
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! Global branch history and path history.
+//!
+//! TAGE correlates on a *global history register* holding one bit per
+//! retired branch (the outcome for conditionals, a PC-derived path bit for
+//! unconditionals) and a short *path history* of low PC bits that is mixed
+//! into table indices to break aliasing between branches with identical
+//! history (Seznec's `F()` mix).
+
+/// Capacity of the global history ring in bits. Must exceed the longest
+/// history length (3000) plus slack for the folded-history update, and be a
+/// power of two.
+pub const HISTORY_CAPACITY: usize = 4096;
+
+/// A ring buffer of the most recent [`HISTORY_CAPACITY`] history bits.
+///
+/// Age 0 is the most recently pushed bit. The buffer never shrinks; before
+/// `HISTORY_CAPACITY` pushes the old bits read as zero, matching a predictor
+/// that starts from cleared history registers.
+///
+/// ```
+/// use tage::GlobalHistory;
+///
+/// let mut h = GlobalHistory::new();
+/// h.push(true);
+/// h.push(false);
+/// assert_eq!(h.bit(0), 0); // most recent
+/// assert_eq!(h.bit(1), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GlobalHistory {
+    words: Vec<u64>,
+    /// Total bits pushed so far; the most recent bit lives at
+    /// `(pushed - 1) % HISTORY_CAPACITY`.
+    pushed: u64,
+}
+
+impl GlobalHistory {
+    /// Creates an all-zero history.
+    pub fn new() -> Self {
+        GlobalHistory { words: vec![0; HISTORY_CAPACITY / 64], pushed: 0 }
+    }
+
+    /// Pushes the newest history bit.
+    #[inline]
+    pub fn push(&mut self, bit: bool) {
+        let pos = (self.pushed as usize) & (HISTORY_CAPACITY - 1);
+        let word = pos / 64;
+        let off = pos % 64;
+        self.words[word] = (self.words[word] & !(1u64 << off)) | ((bit as u64) << off);
+        self.pushed += 1;
+    }
+
+    /// Reads the bit pushed `age` steps ago (0 = most recent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `age >= HISTORY_CAPACITY`.
+    #[inline]
+    pub fn bit(&self, age: usize) -> u64 {
+        assert!(age < HISTORY_CAPACITY, "history age {age} out of range");
+        if (age as u64) >= self.pushed {
+            return 0;
+        }
+        let pos = ((self.pushed - 1 - age as u64) as usize) & (HISTORY_CAPACITY - 1);
+        (self.words[pos / 64] >> (pos % 64)) & 1
+    }
+
+    /// Number of bits pushed so far.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.pushed
+    }
+
+    /// True until the first bit is pushed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pushed == 0
+    }
+
+    /// Packs the most recent `n` bits (n ≤ 64) into a word, newest in bit 0.
+    ///
+    /// Used by the statistical corrector's short-history components.
+    #[inline]
+    pub fn recent(&self, n: usize) -> u64 {
+        debug_assert!(n <= 64);
+        let mut v = 0u64;
+        for age in (0..n).rev() {
+            v = (v << 1) | self.bit(age);
+        }
+        v
+    }
+}
+
+impl Default for GlobalHistory {
+    fn default() -> Self {
+        GlobalHistory::new()
+    }
+}
+
+/// Path history: low-order PC bits of recent branches, newest in bit 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathHistory {
+    bits: u64,
+}
+
+/// Number of path-history bits retained.
+pub const PATH_BITS: u32 = 27;
+
+impl PathHistory {
+    /// Creates an all-zero path history.
+    pub fn new() -> Self {
+        PathHistory::default()
+    }
+
+    /// Shifts in one path bit derived from `pc`.
+    #[inline]
+    pub fn push(&mut self, pc: u64) {
+        self.bits = ((self.bits << 1) | ((pc >> 2) & 1)) & ((1 << PATH_BITS) - 1);
+    }
+
+    /// Raw path-history bits.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.bits
+    }
+
+    /// Seznec's `F()` mix of `len` path bits for a table with `log2_size`
+    /// index bits: compresses the path history into the index domain while
+    /// rotating by the table number so different tables decorrelate.
+    #[inline]
+    pub fn mix(&self, len: usize, table: usize, log2_size: u32) -> u64 {
+        let size = log2_size as u64;
+        if size == 0 {
+            return 0;
+        }
+        let len = len.min(PATH_BITS as usize) as u64;
+        let mut a = self.bits & ((1u64 << len) - 1);
+        let a1 = a & ((1 << size) - 1);
+        let a2 = a >> size;
+        let t = (table as u64) % size.max(1);
+        let a2 = ((a2 << t) & ((1 << size) - 1)) | (a2 >> (size - t).max(1));
+        a = a1 ^ a2;
+        
+        ((a << t) & ((1 << size) - 1)) | (a >> (size - t).max(1))
+    }
+}
+
+/// Computes the bit appended to global history for `record`.
+///
+/// Conditionals contribute their outcome; unconditionals contribute a
+/// PC-derived path bit so that different control-flow paths produce distinct
+/// histories (as a hardware TAGE inserting target bits would see).
+#[inline]
+pub fn history_bit(record: &traces::BranchRecord) -> bool {
+    if record.kind.is_conditional() {
+        record.taken
+    } else {
+        (((record.pc >> 2) ^ (record.target >> 3)) & 1) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traces::{BranchKind, BranchRecord};
+
+    #[test]
+    fn fresh_history_reads_zero_everywhere() {
+        let h = GlobalHistory::new();
+        for age in [0, 1, 63, 64, 100, HISTORY_CAPACITY - 1] {
+            assert_eq!(h.bit(age), 0);
+        }
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn bits_age_in_push_order() {
+        let mut h = GlobalHistory::new();
+        let pattern = [true, false, true, true, false, false, true];
+        for &b in &pattern {
+            h.push(b);
+        }
+        for (age, &b) in pattern.iter().rev().enumerate() {
+            assert_eq!(h.bit(age), b as u64, "age {age}");
+        }
+        assert_eq!(h.len(), pattern.len() as u64);
+    }
+
+    #[test]
+    fn ring_wraps_without_corruption() {
+        let mut h = GlobalHistory::new();
+        // Push a recognizable sequence longer than the capacity.
+        for i in 0..(HISTORY_CAPACITY + 123) {
+            h.push(i % 3 == 0);
+        }
+        for age in 0..HISTORY_CAPACITY {
+            let i = HISTORY_CAPACITY + 123 - 1 - age;
+            assert_eq!(h.bit(age), i.is_multiple_of(3) as u64, "age {age}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_beyond_capacity_panics() {
+        let h = GlobalHistory::new();
+        let _ = h.bit(HISTORY_CAPACITY);
+    }
+
+    #[test]
+    fn recent_packs_newest_in_low_bit() {
+        let mut h = GlobalHistory::new();
+        h.push(true);
+        h.push(true);
+        h.push(false); // newest
+        assert_eq!(h.recent(3), 0b110);
+        assert_eq!(h.recent(2), 0b10);
+        assert_eq!(h.recent(1), 0b0);
+    }
+
+    #[test]
+    fn path_history_tracks_pc_bit_two() {
+        let mut p = PathHistory::new();
+        p.push(0b100); // bit2 = 1
+        p.push(0b000); // bit2 = 0
+        assert_eq!(p.value() & 0b11, 0b10);
+    }
+
+    #[test]
+    fn path_mix_is_deterministic_and_bounded() {
+        let mut p = PathHistory::new();
+        for pc in 0..100u64 {
+            p.push(pc * 4);
+        }
+        let m = p.mix(16, 3, 10);
+        assert_eq!(m, p.mix(16, 3, 10));
+        assert!(m < (1 << 10));
+        // Different table numbers should usually mix differently.
+        assert_ne!(p.mix(16, 3, 10), p.mix(16, 4, 10));
+    }
+
+    #[test]
+    fn history_bit_uses_outcome_for_conditionals() {
+        let taken = BranchRecord::cond(0x1000, 0x2000, true, 0);
+        let not = BranchRecord::cond(0x1000, 0x2000, false, 0);
+        assert!(history_bit(&taken));
+        assert!(!history_bit(&not));
+    }
+
+    #[test]
+    fn history_bit_uses_path_for_unconditionals() {
+        let a = BranchRecord::new(0x1000, 0x2000, BranchKind::DirectCall, true, 0);
+        let b = BranchRecord::new(0x1004, 0x2000, BranchKind::DirectCall, true, 0);
+        // Bit 2 of the PC differs between the two call sites.
+        assert_ne!(history_bit(&a), history_bit(&b));
+    }
+}

@@ -1,0 +1,51 @@
+//! The common interface every direction predictor in this workspace exposes.
+
+use traces::BranchRecord;
+
+/// A trace-driven branch direction predictor.
+///
+/// Predictors are driven in program order: [`process`](Self::process) is
+/// called once per dynamic branch (conditional *and* unconditional — the
+/// latter matter because they update global/path history and, for LLBP,
+/// the rolling context register). For conditional branches the call returns
+/// the direction that was predicted *before* training on the outcome.
+///
+/// ```
+/// use tage::{DirectionPredictor, TageScl, TslConfig};
+/// use traces::BranchRecord;
+///
+/// let mut p = TageScl::new(TslConfig::kilobytes(64));
+/// let rec = BranchRecord::cond(0x1234, 0x2000, true, 0);
+/// assert!(p.process(&rec).is_some());
+/// let call = BranchRecord::new(0x2000, 0x3000, traces::BranchKind::DirectCall, true, 0);
+/// assert!(p.process(&call).is_none(), "unconditionals are not predicted");
+/// ```
+pub trait DirectionPredictor {
+    /// Predicts and then trains on one dynamic branch.
+    ///
+    /// Returns `Some(predicted_taken)` for conditional branches and `None`
+    /// for unconditional ones (which only update internal histories).
+    fn process(&mut self, record: &BranchRecord) -> Option<bool>;
+
+    /// A short human-readable name for reports (e.g. `"64K TSL"`).
+    fn name(&self) -> String;
+
+    /// Total predictor storage in bits, for budget accounting.
+    ///
+    /// Idealized (infinite) configurations report the storage of their
+    /// *finite* organization parameters where meaningful and `u64::MAX`
+    /// when genuinely unbounded.
+    fn storage_bits(&self) -> u64;
+}
+
+impl<P: DirectionPredictor + ?Sized> DirectionPredictor for Box<P> {
+    fn process(&mut self, record: &BranchRecord) -> Option<bool> {
+        (**self).process(record)
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn storage_bits(&self) -> u64 {
+        (**self).storage_bits()
+    }
+}

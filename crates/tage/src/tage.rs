@@ -1,0 +1,441 @@
+//! The TAGE core: tagged geometric-history-length prediction.
+//!
+//! Prediction by partial matching over [`NUM_TABLES`] tagged tables with the
+//! history lengths of [`HISTORY_LENGTHS`]. The longest matching table is the
+//! *provider*; the next longest (or the bimodal) is the *alternate*. Newly
+//! allocated ("weak") providers defer to the alternate while a global
+//! `use_alt_on_na` counter says alternates are more trustworthy.
+
+use crate::bimodal::Bimodal;
+use crate::config::{TageConfig, HISTORY_LENGTHS, NUM_TABLES};
+use crate::folded::FoldedSet;
+use crate::history::{GlobalHistory, PathHistory};
+use crate::table::TaggedTable;
+
+/// Everything TAGE computed for one prediction, kept so the update phase
+/// (and the LLBP hierarchy on top) can reuse it without re-hashing.
+#[derive(Debug, Clone)]
+pub struct TageInfo {
+    /// Final TAGE prediction (after the use-alt-on-newly-allocated policy).
+    pub pred: bool,
+    /// Table index of the providing entry, `None` when the bimodal provided.
+    pub provider: Option<usize>,
+    /// Direction predicted by the provider entry (or bimodal).
+    pub provider_pred: bool,
+    /// `true` when the provider entry is newly allocated (weak).
+    pub provider_weak: bool,
+    /// `true` when the provider counter is saturated.
+    pub provider_confident: bool,
+    /// Alternate prediction (next-longest match or bimodal).
+    pub alt_pred: bool,
+    /// Table index of the alternate, `None` when it is the bimodal.
+    pub alt_provider: Option<usize>,
+    /// Per-table indices computed for this branch.
+    pub indices: [u64; NUM_TABLES],
+    /// Per-table tags computed for this branch.
+    pub tags: [u32; NUM_TABLES],
+}
+
+impl TageInfo {
+    /// History length (bits) backing the final prediction; 0 for bimodal.
+    pub fn provider_history_len(&self) -> usize {
+        self.provider.map_or(0, |t| HISTORY_LENGTHS[t])
+    }
+}
+
+/// The TAGE predictor core (tagged tables + bimodal fallback).
+#[derive(Debug, Clone)]
+pub struct Tage {
+    cfg: TageConfig,
+    tables: Vec<TaggedTable>,
+    bimodal: Bimodal,
+    history: GlobalHistory,
+    path: PathHistory,
+    index_folds: FoldedSet,
+    tag_folds: FoldedSet,
+    tag_folds2: FoldedSet,
+    /// Signed counter: ≥0 means trust the alternate over weak providers.
+    use_alt_on_na: i8,
+    /// Deterministic xorshift state for allocation spreading.
+    rng: u64,
+    /// Allocation events since the last useful-bit reset.
+    allocs_since_reset: u64,
+}
+
+impl Tage {
+    /// Builds a TAGE core from `cfg`.
+    pub fn new(cfg: TageConfig) -> Self {
+        let tables: Vec<TaggedTable> = (0..NUM_TABLES)
+            .map(|t| TaggedTable::new(cfg.storage, cfg.log2_entries, cfg.tag_bits(t)))
+            .collect();
+        let index_folds = FoldedSet::new(
+            HISTORY_LENGTHS.iter().map(|&l| (l, cfg.log2_entries)),
+        );
+        let tag_folds = FoldedSet::new(
+            (0..NUM_TABLES).map(|t| (HISTORY_LENGTHS[t], cfg.tag_bits(t))),
+        );
+        let tag_folds2 = FoldedSet::new(
+            (0..NUM_TABLES).map(|t| (HISTORY_LENGTHS[t], cfg.tag_bits(t) - 1)),
+        );
+        Tage {
+            bimodal: Bimodal::new(cfg.log2_bimodal),
+            tables,
+            history: GlobalHistory::new(),
+            path: PathHistory::new(),
+            index_folds,
+            tag_folds,
+            tag_folds2,
+            use_alt_on_na: 0,
+            rng: 0x9e37_79b9_7f4a_7c15,
+            allocs_since_reset: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration this core was built with.
+    pub fn config(&self) -> &TageConfig {
+        &self.cfg
+    }
+
+    /// Shared global history register (LLBP folds off the same register).
+    pub fn history(&self) -> &GlobalHistory {
+        &self.history
+    }
+
+    /// Index into table `t` for branch `pc` under the current history.
+    #[inline]
+    fn index(&self, t: usize, pc: u64) -> u64 {
+        let log2 = self.cfg.log2_entries;
+        let pcs = pc >> 2;
+        let hist_mix = self.index_folds.value(t);
+        let path_mix = self.path.mix(HISTORY_LENGTHS[t].min(16), t, log2);
+        (pcs ^ (pcs >> (((t as u32) % log2) + 1)) ^ hist_mix ^ path_mix)
+            & self.tables[t].index_mask()
+    }
+
+    /// Partial tag for table `t` and branch `pc` under the current history.
+    #[inline]
+    fn tag(&self, t: usize, pc: u64) -> u32 {
+        let bits = self.cfg.tag_bits(t);
+        let pcs = pc >> 2;
+        ((pcs ^ self.tag_folds.value(t) ^ (self.tag_folds2.value(t) << 1))
+            & ((1u64 << bits) - 1)) as u32
+    }
+
+    /// Computes the full prediction breakdown for `pc`.
+    pub fn predict(&self, pc: u64) -> TageInfo {
+        let mut indices = [0u64; NUM_TABLES];
+        let mut tags = [0u32; NUM_TABLES];
+        for t in 0..NUM_TABLES {
+            indices[t] = self.index(t, pc);
+            tags[t] = self.tag(t, pc);
+        }
+
+        let bim = self.bimodal.predict(pc);
+        let mut provider = None;
+        let mut alt_provider = None;
+        for t in (0..NUM_TABLES).rev() {
+            if self.tables[t].lookup(indices[t], tags[t], pc).is_some() {
+                if provider.is_none() {
+                    provider = Some(t);
+                } else {
+                    alt_provider = Some(t);
+                    break;
+                }
+            }
+        }
+
+        let (provider_pred, provider_weak, provider_confident) = match provider {
+            Some(t) => {
+                let e = self.tables[t]
+                    .lookup(indices[t], tags[t], pc)
+                    .expect("provider entry just matched");
+                (e.taken(), e.is_weak(), e.is_confident())
+            }
+            None => (bim, false, self.bimodal.confident(pc)),
+        };
+        let alt_pred = match alt_provider {
+            Some(t) => self.tables[t]
+                .lookup(indices[t], tags[t], pc)
+                .expect("alternate entry just matched")
+                .taken(),
+            None => bim,
+        };
+
+        // Newly allocated providers are statistically unreliable; a global
+        // counter learns whether the alternate does better in that case.
+        let pred = if provider.is_some() && provider_weak && self.use_alt_on_na >= 0 {
+            alt_pred
+        } else {
+            provider_pred
+        };
+
+        TageInfo {
+            pred,
+            provider,
+            provider_pred,
+            provider_weak,
+            provider_confident,
+            alt_pred,
+            alt_provider,
+            indices,
+            tags,
+        }
+    }
+
+    #[inline]
+    fn next_rand(&mut self) -> u64 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        self.rng
+    }
+
+    /// Trains TAGE on the resolved outcome. `info` must come from
+    /// [`predict`](Self::predict) for the same branch under the same history
+    /// (i.e. before [`update_history`](Self::update_history)).
+    pub fn update(&mut self, pc: u64, taken: bool, info: &TageInfo) {
+        // use_alt_on_na bookkeeping: when a weak provider and its alternate
+        // disagree, learn which side to trust.
+        if let Some(t) = info.provider {
+            if info.provider_weak && info.provider_pred != info.alt_pred {
+                let delta = if info.alt_pred == taken { 1 } else { -1 };
+                self.use_alt_on_na = (self.use_alt_on_na + delta).clamp(-8, 7);
+            }
+            let entry = self.tables[t]
+                .lookup_mut(info.indices[t], info.tags[t], pc)
+                .expect("provider entry present during update");
+            // Useful bit: provider beat a disagreeing alternate.
+            if info.provider_pred != info.alt_pred {
+                if info.provider_pred == taken {
+                    entry.useful = 1;
+                } else {
+                    entry.useful = entry.useful.saturating_sub(1);
+                }
+            }
+            entry.train(taken);
+            // Train the alternate too while the provider is still weak, so
+            // the fallback stays warm (Seznec's update of the alt entry).
+            if info.provider_weak {
+                match info.alt_provider {
+                    Some(a) => {
+                        if let Some(e) =
+                            self.tables[a].lookup_mut(info.indices[a], info.tags[a], pc)
+                        {
+                            e.train(taken);
+                        }
+                    }
+                    None => self.bimodal.update(pc, taken),
+                }
+            }
+        } else {
+            self.bimodal.update(pc, taken);
+        }
+
+        // Allocate longer-history entries on a TAGE misprediction.
+        if info.pred != taken {
+            self.allocate(pc, taken, info);
+        }
+    }
+
+    /// Allocates up to two entries in tables with histories longer than the
+    /// provider's, aging victims that refuse (useful bit set).
+    fn allocate(&mut self, pc: u64, taken: bool, info: &TageInfo) {
+        let start = info.provider.map_or(0, |t| t + 1);
+        if start >= NUM_TABLES {
+            return;
+        }
+        // Random skip keeps allocations from piling into the first longer
+        // table (Seznec's randomized start).
+        let skip = (self.next_rand() % 2) as usize;
+        let mut remaining = 2;
+        let mut t = start + skip.min(NUM_TABLES - 1 - start);
+        while t < NUM_TABLES && remaining > 0 {
+            if self.tables[t].can_allocate(info.indices[t]) {
+                self.tables[t].allocate(info.indices[t], info.tags[t], pc, taken);
+                self.allocs_since_reset += 1;
+                remaining -= 1;
+                t += 2; // spread allocations across lengths
+            } else {
+                self.tables[t].age_victim(info.indices[t]);
+                t += 1;
+            }
+        }
+        if self.allocs_since_reset >= self.cfg.u_reset_period {
+            self.allocs_since_reset = 0;
+            for table in &mut self.tables {
+                table.reset_useful();
+            }
+        }
+    }
+
+    /// Advances global, path and folded histories past `record`.
+    ///
+    /// Must be called exactly once per dynamic branch (conditional and
+    /// unconditional), after [`update`](Self::update).
+    pub fn update_history(&mut self, record: &traces::BranchRecord) {
+        self.history.push(crate::history::history_bit(record));
+        self.path.push(record.pc);
+        self.index_folds.update(&self.history);
+        self.tag_folds.update(&self.history);
+        self.tag_folds2.update(&self.history);
+    }
+
+    /// Storage in bits (tagged tables + bimodal).
+    pub fn storage_bits(&self) -> u64 {
+        self.cfg.storage_bits()
+    }
+
+    /// Total live entries across the tagged tables (diagnostics).
+    pub fn population(&self) -> usize {
+        self.tables.iter().map(|t| t.population()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TableStorageKind;
+    use traces::BranchRecord;
+
+    fn drive(tage: &mut Tage, pc: u64, taken: bool) -> bool {
+        let info = tage.predict(pc);
+        tage.update(pc, taken, &info);
+        tage.update_history(&BranchRecord::cond(pc, pc + 0x40, taken, 0));
+        info.pred
+    }
+
+    #[test]
+    fn learns_a_strongly_biased_branch() {
+        let mut tage = Tage::new(TageConfig::base_64k());
+        let mut wrong = 0;
+        for i in 0..500 {
+            if !drive(&mut tage, 0x1000, true) && i > 10 {
+                wrong += 1;
+            }
+        }
+        assert!(wrong < 5, "biased branch mispredicted {wrong} times");
+    }
+
+    #[test]
+    fn learns_a_short_alternating_pattern() {
+        let mut tage = Tage::new(TageConfig::base_64k());
+        let mut wrong = 0;
+        for i in 0..2000u32 {
+            let taken = i % 2 == 0;
+            if drive(&mut tage, 0x2000, taken) != taken && i > 500 {
+                wrong += 1;
+            }
+        }
+        assert!(wrong < 30, "alternating branch mispredicted {wrong} times after warmup");
+    }
+
+    #[test]
+    fn learns_a_history_correlated_branch() {
+        // Branch B's outcome equals branch A's previous outcome: requires
+        // (short) global history, impossible for bimodal alone.
+        let mut tage = Tage::new(TageConfig::base_64k());
+        let mut a_out = false;
+        let mut x = 0x123u64;
+        let mut wrong = 0;
+        for i in 0..4000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let a_taken = x & 1 == 1;
+            drive(&mut tage, 0xA000, a_taken);
+            let b_taken = a_out;
+            if drive(&mut tage, 0xB000, b_taken) != b_taken && i > 1500 {
+                wrong += 1;
+            }
+            a_out = a_taken;
+        }
+        assert!(wrong < 150, "correlated branch mispredicted {wrong}/2500 times");
+    }
+
+    #[test]
+    fn provider_history_len_is_zero_for_bimodal() {
+        let tage = Tage::new(TageConfig::base_64k());
+        let info = tage.predict(0x1234);
+        assert_eq!(info.provider, None);
+        assert_eq!(info.provider_history_len(), 0);
+    }
+
+    #[test]
+    fn allocation_populates_longer_tables_after_mispredictions() {
+        let mut tage = Tage::new(TageConfig::base_64k());
+        // Feed an unpredictable branch; every miss allocates.
+        let mut x = 7u64;
+        for _ in 0..200 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            drive(&mut tage, 0x3000, x & 1 == 1);
+        }
+        assert!(tage.population() > 50, "mispredictions should allocate entries");
+    }
+
+    #[test]
+    fn infinite_storage_outperforms_tiny_storage_under_pressure() {
+        // Thousands of history-correlated branches overwhelm a 128-entry
+        // TAGE but not the idealized one.
+        // 512 branches, each with its own random period-4 direction
+        // pattern: a few tagged entries per branch, thousands total — far
+        // beyond 21 tables * 32 entries but easy for the idealized
+        // organization.
+        let mut patterns = [0u8; 512];
+        let mut x = 0x5eed_1234u64;
+        for p in &mut patterns {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *p = (x & 0xf) as u8;
+        }
+        let run = |cfg: TageConfig| -> u64 {
+            let mut tage = Tage::new(cfg);
+            let mut wrong = 0;
+            for round in 0..60u64 {
+                for b in 0..512u64 {
+                    let taken = (patterns[b as usize] >> (round % 4)) & 1 == 1;
+                    let pc = 0x10_0000 + b * 64;
+                    if drive(&mut tage, pc, taken) != taken && round > 30 {
+                        wrong += 1;
+                    }
+                }
+            }
+            wrong
+        };
+        let tiny = run(TageConfig::base_64k().with_log2_entries(5));
+        let infinite = run(TageConfig { storage: TableStorageKind::Infinite, ..TageConfig::base_64k() });
+        assert!(
+            infinite < tiny,
+            "infinite TAGE ({infinite} misses) must beat a 32-entry TAGE ({tiny} misses)"
+        );
+    }
+
+    #[test]
+    fn predict_is_pure() {
+        let mut tage = Tage::new(TageConfig::base_64k());
+        for i in 0..50 {
+            drive(&mut tage, 0x4000 + (i % 3) * 0x100, i % 2 == 0);
+        }
+        let a = tage.predict(0x4000);
+        let b = tage.predict(0x4000);
+        assert_eq!(a.pred, b.pred);
+        assert_eq!(a.indices, b.indices);
+        assert_eq!(a.tags, b.tags);
+    }
+
+    #[test]
+    fn tags_fit_their_width() {
+        let mut tage = Tage::new(TageConfig::base_64k());
+        for i in 0..200 {
+            drive(&mut tage, 0x9000 + i * 4, i % 3 == 0);
+        }
+        let info = tage.predict(0xdead_beef);
+        for t in 0..NUM_TABLES {
+            assert!(info.tags[t] < (1 << tage.config().tag_bits(t)), "table {t}");
+            assert!(info.indices[t] <= tage.tables[t].index_mask());
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the TAGE substrate: folded histories, the
+//! history ring, bimodal counters, and predictor determinism.
+
+use proptest::prelude::*;
+use tage::{DirectionPredictor, FoldedHistory, GlobalHistory, TageScl, TslConfig};
+use traces::BranchRecord;
+
+proptest! {
+    /// The fold equals its closed-form reference after any bit stream.
+    #[test]
+    fn folded_history_matches_reference(
+        bits in prop::collection::vec(any::<bool>(), 1..3000),
+        length in 1usize..1500,
+        width in 1u32..21,
+    ) {
+        let mut h = GlobalHistory::new();
+        let mut f = FoldedHistory::new(length, width);
+        for &b in &bits {
+            h.push(b);
+            f.update(&h);
+        }
+        prop_assert_eq!(f.value(), f.compute_reference(&h));
+    }
+
+    /// The fold is a pure function of the most recent `length` bits: any
+    /// prefix before them is irrelevant.
+    #[test]
+    fn folded_history_is_windowed(
+        prefix_a in prop::collection::vec(any::<bool>(), 0..500),
+        prefix_b in prop::collection::vec(any::<bool>(), 0..500),
+        tail in prop::collection::vec(any::<bool>(), 1..400),
+        width in 1u32..16,
+    ) {
+        let length = tail.len();
+        let run = |prefix: &[bool]| {
+            let mut h = GlobalHistory::new();
+            let mut f = FoldedHistory::new(length, width);
+            for &b in prefix.iter().chain(tail.iter()) {
+                h.push(b);
+                f.update(&h);
+            }
+            f.value()
+        };
+        prop_assert_eq!(run(&prefix_a), run(&prefix_b));
+    }
+
+    /// The history ring returns exactly what was pushed, for any ages
+    /// within capacity.
+    #[test]
+    fn history_ring_is_faithful(bits in prop::collection::vec(any::<bool>(), 1..5000)) {
+        let mut h = GlobalHistory::new();
+        for &b in &bits {
+            h.push(b);
+        }
+        let n = bits.len();
+        for age in 0..n.min(tage::history::HISTORY_CAPACITY) {
+            prop_assert_eq!(h.bit(age), bits[n - 1 - age] as u64, "age {}", age);
+        }
+    }
+
+    /// Bimodal counters never leave their 2-bit range and always predict
+    /// the direction of a long-enough run.
+    #[test]
+    fn bimodal_saturates_and_tracks_runs(
+        pc in any::<u64>(),
+        flips in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut b = tage::bimodal::Bimodal::new(8);
+        for &dir in &flips {
+            b.update(pc, dir);
+        }
+        // Force a run of 3 to dominate any prior state.
+        let last = *flips.last().unwrap();
+        for _ in 0..3 {
+            b.update(pc, last);
+        }
+        prop_assert_eq!(b.predict(pc), last);
+    }
+
+    /// A TSL fed the same records twice produces identical predictions —
+    /// no hidden global state or randomness.
+    #[test]
+    fn tsl_is_deterministic(
+        seeds in prop::collection::vec((any::<u16>(), any::<bool>()), 1..300),
+    ) {
+        let run = || {
+            let mut tsl = TageScl::new(TslConfig::kilobytes(64));
+            seeds
+                .iter()
+                .map(|&(pc, taken)| {
+                    let rec = BranchRecord::cond(0x1000 + u64::from(pc) * 4, 0x9000, taken, 1);
+                    tsl.process(&rec).unwrap()
+                })
+                .collect::<Vec<bool>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Predictions are always produced for conditional branches and never
+    /// for unconditional ones, whatever the record contents.
+    #[test]
+    fn prediction_presence_follows_kind(
+        pc in any::<u64>(),
+        target in any::<u64>(),
+        kind_idx in 0usize..6,
+        gap in any::<u32>(),
+    ) {
+        let kind = traces::BranchKind::ALL[kind_idx];
+        let rec = BranchRecord::new(pc, target, kind, true, gap);
+        let mut tsl = TageScl::new(TslConfig::kilobytes(64));
+        prop_assert_eq!(tsl.process(&rec).is_some(), kind.is_conditional());
+    }
+}

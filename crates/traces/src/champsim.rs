@@ -1,0 +1,376 @@
+//! ChampSim trace compatibility.
+//!
+//! The paper's artifact distributes its fourteen server traces "converted
+//! into the ChampSim format" and feeds them to a CBP/ChampSim-compatible
+//! simulator. This module implements that format so the workspace can
+//! exchange traces with ChampSim-based tooling:
+//!
+//! * [`ChampSimInstr`] — the classic 64-byte ChampSim instruction record
+//!   (ip, branch flags, register/memory operand slots);
+//! * [`write_champsim`] — expands a [`BranchStream`] into a ChampSim
+//!   instruction stream (branch records plus `instr_gap` filler
+//!   instructions);
+//! * [`read_champsim`] — parses a ChampSim stream back into branch
+//!   records, re-deriving the branch class from the operand conventions
+//!   exactly the way ChampSim's tracer encodes them.
+//!
+//! # Branch classification conventions
+//!
+//! ChampSim infers branch types from which architectural registers an
+//! instruction reads/writes: the instruction pointer ([`REG_IP`]), the
+//! stack pointer ([`REG_SP`]), and condition flags ([`REG_FLAGS`]):
+//!
+//! | type              | reads            | writes        |
+//! |-------------------|------------------|---------------|
+//! | conditional       | IP, FLAGS        | IP            |
+//! | direct jump       | IP               | IP            |
+//! | indirect jump     | IP, other        | IP            |
+//! | direct call       | IP, SP           | IP, SP        |
+//! | indirect call     | IP, SP, other    | IP, SP        |
+//! | return            | IP, SP           | IP, SP        |
+//!
+//! (Calls and returns are disambiguated by the "other" source register;
+//! this mirrors `TraceInstruction`/`input_instr` in ChampSim.)
+
+use std::io::{self, Read, Write};
+
+use crate::branch::{BranchKind, BranchRecord};
+use crate::format::TraceFormatError;
+use crate::stream::{BranchStream, VecTrace};
+
+/// ChampSim's encoding of the instruction pointer register.
+pub const REG_IP: u8 = 26;
+/// ChampSim's encoding of the stack pointer register.
+pub const REG_SP: u8 = 6;
+/// ChampSim's encoding of the condition-flags register.
+pub const REG_FLAGS: u8 = 25;
+/// A scratch general-purpose register used for indirect targets.
+pub const REG_OTHER: u8 = 1;
+
+/// Size of one ChampSim instruction record in bytes.
+pub const CHAMPSIM_RECORD_BYTES: usize = 64;
+
+/// One ChampSim `input_instr` record.
+///
+/// Layout (little-endian): `ip: u64`, `is_branch: u8`, `branch_taken: u8`,
+/// 2 destination registers, 4 source registers, 2 destination memory
+/// addresses (u64), 4 source memory addresses (u64) — 64 bytes total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChampSimInstr {
+    /// Instruction pointer.
+    pub ip: u64,
+    /// 1 when the instruction is a branch.
+    pub is_branch: u8,
+    /// 1 when the branch was taken.
+    pub branch_taken: u8,
+    /// Destination registers.
+    pub destination_registers: [u8; 2],
+    /// Source registers.
+    pub source_registers: [u8; 4],
+    /// Destination memory operands.
+    pub destination_memory: [u64; 2],
+    /// Source memory operands.
+    pub source_memory: [u64; 4],
+}
+
+impl ChampSimInstr {
+    /// A non-branch filler instruction at `ip`.
+    pub fn filler(ip: u64) -> Self {
+        ChampSimInstr { ip, ..ChampSimInstr::default() }
+    }
+
+    /// Encodes a branch record as a ChampSim instruction, using the
+    /// register conventions documented at module level.
+    pub fn from_branch(record: &BranchRecord) -> Self {
+        let mut instr = ChampSimInstr {
+            ip: record.pc,
+            is_branch: 1,
+            branch_taken: u8::from(record.taken),
+            ..ChampSimInstr::default()
+        };
+        instr.destination_registers[0] = REG_IP;
+        match record.kind {
+            BranchKind::CondDirect => {
+                instr.source_registers = [REG_IP, REG_FLAGS, 0, 0];
+            }
+            BranchKind::UncondDirect => {
+                instr.source_registers = [REG_IP, 0, 0, 0];
+            }
+            BranchKind::UncondIndirect => {
+                instr.source_registers = [REG_IP, REG_OTHER, 0, 0];
+            }
+            BranchKind::DirectCall => {
+                instr.source_registers = [REG_IP, REG_SP, 0, 0];
+                instr.destination_registers[1] = REG_SP;
+                instr.destination_memory[0] = 0xffff_8000_0000_0000; // push
+            }
+            BranchKind::IndirectCall => {
+                instr.source_registers = [REG_IP, REG_SP, REG_OTHER, 0];
+                instr.destination_registers[1] = REG_SP;
+                instr.destination_memory[0] = 0xffff_8000_0000_0000;
+            }
+            BranchKind::Return => {
+                instr.source_registers = [REG_IP, REG_SP, 0, 0];
+                instr.destination_registers[1] = REG_SP;
+                instr.source_memory[0] = 0xffff_8000_0000_0000; // pop
+            }
+        }
+        instr
+    }
+
+    /// Reconstructs the branch kind from the operand conventions, or
+    /// `None` for non-branch instructions.
+    pub fn branch_kind(&self) -> Option<BranchKind> {
+        if self.is_branch == 0 {
+            return None;
+        }
+        let reads = |r: u8| self.source_registers.contains(&r);
+        let writes_sp = self.destination_registers.contains(&REG_SP);
+        let kind = if reads(REG_FLAGS) {
+            BranchKind::CondDirect
+        } else if writes_sp {
+            // Calls push, returns pop.
+            if self.destination_memory[0] != 0 {
+                if reads(REG_OTHER) {
+                    BranchKind::IndirectCall
+                } else {
+                    BranchKind::DirectCall
+                }
+            } else {
+                BranchKind::Return
+            }
+        } else if reads(REG_OTHER) {
+            BranchKind::UncondIndirect
+        } else {
+            BranchKind::UncondDirect
+        };
+        Some(kind)
+    }
+
+    /// Serializes to the 64-byte wire layout.
+    pub fn encode(&self, buf: &mut [u8; CHAMPSIM_RECORD_BYTES]) {
+        buf[0..8].copy_from_slice(&self.ip.to_le_bytes());
+        buf[8] = self.is_branch;
+        buf[9] = self.branch_taken;
+        buf[10..12].copy_from_slice(&self.destination_registers);
+        buf[12..16].copy_from_slice(&self.source_registers);
+        for (i, v) in self.destination_memory.iter().enumerate() {
+            buf[16 + i * 8..24 + i * 8].copy_from_slice(&v.to_le_bytes());
+        }
+        for (i, v) in self.source_memory.iter().enumerate() {
+            buf[32 + i * 8..40 + i * 8].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Parses from the 64-byte wire layout.
+    pub fn decode(buf: &[u8; CHAMPSIM_RECORD_BYTES]) -> Self {
+        let mut instr = ChampSimInstr {
+            ip: u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")),
+            is_branch: buf[8],
+            branch_taken: buf[9],
+            ..ChampSimInstr::default()
+        };
+        instr.destination_registers.copy_from_slice(&buf[10..12]);
+        instr.source_registers.copy_from_slice(&buf[12..16]);
+        for i in 0..2 {
+            instr.destination_memory[i] =
+                u64::from_le_bytes(buf[16 + i * 8..24 + i * 8].try_into().expect("8 bytes"));
+        }
+        for i in 0..4 {
+            instr.source_memory[i] =
+                u64::from_le_bytes(buf[32 + i * 8..40 + i * 8].try_into().expect("8 bytes"));
+        }
+        instr
+    }
+}
+
+/// Expands a branch stream into ChampSim instruction records: each branch
+/// record becomes `instr_gap` filler instructions followed by the branch.
+///
+/// Returns the number of ChampSim records written. Filler instruction IPs
+/// count down from the branch PC in 4-byte steps, approximating the
+/// straight-line block that precedes each branch.
+///
+/// # Errors
+///
+/// Propagates IO errors from `writer`.
+pub fn write_champsim<S, W>(mut stream: S, writer: W) -> Result<u64, TraceFormatError>
+where
+    S: BranchStream,
+    W: Write,
+{
+    let mut writer = io::BufWriter::new(writer);
+    let mut buf = [0u8; CHAMPSIM_RECORD_BYTES];
+    let mut count = 0u64;
+    while let Some(record) = stream.next_branch() {
+        for k in (1..=u64::from(record.instr_gap)).rev() {
+            ChampSimInstr::filler(record.pc.wrapping_sub(k * 4)).encode(&mut buf);
+            writer.write_all(&buf)?;
+            count += 1;
+        }
+        ChampSimInstr::from_branch(&record).encode(&mut buf);
+        writer.write_all(&buf)?;
+        count += 1;
+    }
+    writer.flush()?;
+    Ok(count)
+}
+
+/// Parses a ChampSim instruction stream back into branch records.
+///
+/// Non-branch instructions accumulate into the following branch's
+/// `instr_gap`. The taken target cannot be represented in the ChampSim
+/// record itself (ChampSim derives it from the next ip); it is
+/// reconstructed the same way: the next record's `ip` when taken.
+///
+/// # Errors
+///
+/// Returns [`TraceFormatError::Io`] on IO failure. A trailing non-branch
+/// run (no terminating branch) is dropped, as ChampSim itself does.
+pub fn read_champsim<R: Read>(reader: R) -> Result<VecTrace, TraceFormatError> {
+    let mut reader = io::BufReader::new(reader);
+    let mut buf = [0u8; CHAMPSIM_RECORD_BYTES];
+    let mut gap = 0u32;
+    let mut pending: Option<(BranchRecord, bool)> = None; // awaiting next ip
+    let mut records = Vec::new();
+    loop {
+        match reader.read_exact(&mut buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let instr = ChampSimInstr::decode(&buf);
+        // Resolve the previous branch's target from this ip.
+        if let Some((mut rec, taken)) = pending.take() {
+            if taken {
+                rec.target = instr.ip;
+            }
+            records.push(rec);
+        }
+        match instr.branch_kind() {
+            Some(kind) => {
+                let taken = instr.branch_taken != 0;
+                let rec = BranchRecord {
+                    pc: instr.ip,
+                    target: instr.ip.wrapping_add(4), // provisional
+                    kind,
+                    taken,
+                    instr_gap: gap,
+                };
+                gap = 0;
+                pending = Some((rec, taken));
+            }
+            None => gap += 1,
+        }
+    }
+    // Final branch (no successor ip): keep the provisional fallthrough.
+    if let Some((rec, _)) = pending {
+        records.push(rec);
+    }
+    Ok(VecTrace::new(records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::StreamExt;
+
+    fn sample() -> Vec<BranchRecord> {
+        vec![
+            BranchRecord::new(0x40_1000, 0x40_2000, BranchKind::DirectCall, true, 3),
+            BranchRecord::new(0x40_2004, 0x40_2100, BranchKind::CondDirect, true, 2),
+            BranchRecord::new(0x40_2104, 0x40_2200, BranchKind::CondDirect, false, 0),
+            BranchRecord::new(0x40_2108, 0x40_3000, BranchKind::UncondIndirect, true, 1),
+            BranchRecord::new(0x40_3004, 0x40_4000, BranchKind::IndirectCall, true, 5),
+            BranchRecord::new(0x40_4004, 0x40_1004, BranchKind::Return, true, 2),
+        ]
+    }
+
+    #[test]
+    fn instr_encode_decode_roundtrips() {
+        for rec in sample() {
+            let instr = ChampSimInstr::from_branch(&rec);
+            let mut buf = [0u8; CHAMPSIM_RECORD_BYTES];
+            instr.encode(&mut buf);
+            assert_eq!(ChampSimInstr::decode(&buf), instr);
+        }
+        let filler = ChampSimInstr::filler(0x1234);
+        let mut buf = [0u8; CHAMPSIM_RECORD_BYTES];
+        filler.encode(&mut buf);
+        assert_eq!(ChampSimInstr::decode(&buf), filler);
+    }
+
+    #[test]
+    fn branch_kinds_survive_the_register_conventions() {
+        for rec in sample() {
+            let instr = ChampSimInstr::from_branch(&rec);
+            assert_eq!(instr.branch_kind(), Some(rec.kind), "kind {:?}", rec.kind);
+        }
+        assert_eq!(ChampSimInstr::filler(0x10).branch_kind(), None);
+    }
+
+    #[test]
+    fn stream_roundtrip_preserves_branches_and_gaps() {
+        let records = sample();
+        let mut bytes = Vec::new();
+        let written =
+            write_champsim(VecTrace::new(records.clone()), &mut bytes).unwrap();
+        // 6 branches + 3+2+0+1+5+2 fillers.
+        assert_eq!(written, 6 + 13);
+        assert_eq!(bytes.len(), (written as usize) * CHAMPSIM_RECORD_BYTES);
+
+        let replayed = read_champsim(bytes.as_slice()).unwrap();
+        assert_eq!(replayed.len(), records.len());
+        for (got, want) in replayed.records().iter().zip(&records) {
+            assert_eq!(got.pc, want.pc);
+            assert_eq!(got.kind, want.kind);
+            assert_eq!(got.taken, want.taken);
+            assert_eq!(got.instr_gap, want.instr_gap);
+        }
+    }
+
+    #[test]
+    fn taken_targets_are_reconstructed_from_the_next_ip() {
+        let records = sample();
+        let mut bytes = Vec::new();
+        write_champsim(VecTrace::new(records.clone()), &mut bytes).unwrap();
+        let replayed = read_champsim(bytes.as_slice()).unwrap();
+        // For every taken branch except the last, the reconstructed target
+        // must be the next instruction's ip. With gaps, that is the first
+        // filler of the next block: pc_next - gap_next * 4.
+        for (i, rec) in replayed.records().iter().enumerate().take(replayed.len() - 1) {
+            if rec.taken {
+                let next = &records[i + 1];
+                let expected = next.pc - u64::from(next.instr_gap) * 4;
+                assert_eq!(rec.target, expected, "branch {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn champsim_stream_drives_a_predictor_like_the_native_one() {
+        // A workload slice exported to ChampSim format and re-imported
+        // must contain the same conditional outcome sequence.
+        let native = sample();
+        let mut bytes = Vec::new();
+        write_champsim(VecTrace::new(native.clone()), &mut bytes).unwrap();
+        let replayed = read_champsim(bytes.as_slice()).unwrap();
+        let conds = |v: &[BranchRecord]| -> Vec<(u64, bool)> {
+            v.iter()
+                .filter(|r| r.kind.is_conditional())
+                .map(|r| (r.pc, r.taken))
+                .collect()
+        };
+        assert_eq!(conds(replayed.records()), conds(&native));
+    }
+
+    #[test]
+    fn truncated_stream_is_handled_gracefully() {
+        let mut bytes = Vec::new();
+        write_champsim(VecTrace::new(sample()).take_branches(3), &mut bytes).unwrap();
+        // Drop half a record.
+        bytes.truncate(bytes.len() - CHAMPSIM_RECORD_BYTES / 2);
+        let replayed = read_champsim(bytes.as_slice()).unwrap();
+        assert!(replayed.len() >= 2, "partial tail dropped, prefix kept");
+    }
+}

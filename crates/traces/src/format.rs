@@ -1,0 +1,259 @@
+//! Compact binary trace encoding.
+//!
+//! The paper's artifact ships ChampSim-format traces (tens of GiB). This
+//! module fills the same role — persist and replay a branch-level view of an
+//! execution — with a compact little-endian layout:
+//!
+//! ```text
+//! header : magic "LLBPTRC1" (8 bytes) | record count (u64)
+//! record : pc (u64) | target (u64) | kind (u8) | taken (u8) | instr_gap (u32)
+//! ```
+//!
+//! Records are fixed-width (22 bytes) so readers can seek; the whole file is
+//! validated on read (unknown kinds and truncation are errors, not panics).
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::branch::{BranchKind, BranchRecord};
+use crate::stream::{BranchStream, VecTrace};
+
+/// Magic bytes identifying version 1 of the trace format.
+pub const MAGIC: [u8; 8] = *b"LLBPTRC1";
+
+/// Size in bytes of one encoded record.
+pub const RECORD_BYTES: usize = 22;
+
+/// Errors produced while reading a trace file.
+#[derive(Debug)]
+pub enum TraceFormatError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic([u8; 8]),
+    /// A record carried an unknown [`BranchKind`] discriminant.
+    BadKind { offset: u64, value: u8 },
+    /// A record carried a taken flag that was neither 0 nor 1.
+    BadTakenFlag { offset: u64, value: u8 },
+    /// The file ended before the declared record count was reached.
+    Truncated { expected: u64, got: u64 },
+}
+
+impl fmt::Display for TraceFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFormatError::Io(e) => write!(f, "trace io error: {e}"),
+            TraceFormatError::BadMagic(m) => write!(f, "bad trace magic {m:02x?}"),
+            TraceFormatError::BadKind { offset, value } => {
+                write!(f, "unknown branch kind {value} at record {offset}")
+            }
+            TraceFormatError::BadTakenFlag { offset, value } => {
+                write!(f, "invalid taken flag {value} at record {offset}")
+            }
+            TraceFormatError::Truncated { expected, got } => {
+                write!(f, "trace truncated: header declared {expected} records, read {got}")
+            }
+        }
+    }
+}
+
+impl Error for TraceFormatError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceFormatError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceFormatError {
+    fn from(e: io::Error) -> Self {
+        TraceFormatError::Io(e)
+    }
+}
+
+fn encode_record(record: &BranchRecord, buf: &mut [u8; RECORD_BYTES]) {
+    buf[0..8].copy_from_slice(&record.pc.to_le_bytes());
+    buf[8..16].copy_from_slice(&record.target.to_le_bytes());
+    buf[16] = record.kind as u8;
+    buf[17] = u8::from(record.taken);
+    buf[18..22].copy_from_slice(&record.instr_gap.to_le_bytes());
+}
+
+fn decode_record(buf: &[u8; RECORD_BYTES], offset: u64) -> Result<BranchRecord, TraceFormatError> {
+    let pc = u64::from_le_bytes(buf[0..8].try_into().expect("slice is 8 bytes"));
+    let target = u64::from_le_bytes(buf[8..16].try_into().expect("slice is 8 bytes"));
+    let kind = BranchKind::from_u8(buf[16])
+        .ok_or(TraceFormatError::BadKind { offset, value: buf[16] })?;
+    let taken = match buf[17] {
+        0 => false,
+        1 => true,
+        v => return Err(TraceFormatError::BadTakenFlag { offset, value: v }),
+    };
+    let instr_gap = u32::from_le_bytes(buf[18..22].try_into().expect("slice is 4 bytes"));
+    Ok(BranchRecord { pc, target, kind, taken, instr_gap })
+}
+
+/// Writes every record produced by `stream` to `writer`.
+///
+/// Returns the number of records written. The stream is drained; bound
+/// infinite generators with [`crate::StreamExt::take_branches`] first.
+///
+/// # Errors
+///
+/// Propagates any IO error from `writer`. A partially written file is not
+/// cleaned up; callers writing to real files should write to a temp path.
+pub fn write_trace<S, W>(mut stream: S, writer: W) -> Result<u64, TraceFormatError>
+where
+    S: BranchStream,
+    W: Write,
+{
+    let mut writer = io::BufWriter::new(writer);
+    // Record count is unknown for generators, so buffer the body and patch
+    // the header at the end only when the writer is seekable. To keep the
+    // API simple over plain `Write`, we instead collect counts first into a
+    // body buffer. Traces persisted by this workspace are modest (tests and
+    // examples); bulk simulation never touches disk.
+    let mut body = Vec::new();
+    let mut buf = [0u8; RECORD_BYTES];
+    let mut count = 0u64;
+    while let Some(record) = stream.next_branch() {
+        encode_record(&record, &mut buf);
+        body.extend_from_slice(&buf);
+        count += 1;
+    }
+    writer.write_all(&MAGIC)?;
+    writer.write_all(&count.to_le_bytes())?;
+    writer.write_all(&body)?;
+    writer.flush()?;
+    Ok(count)
+}
+
+/// Reads a complete trace from `reader` into memory.
+///
+/// # Errors
+///
+/// Returns [`TraceFormatError`] if the magic is wrong, a record is malformed,
+/// the file is truncated relative to its header, or IO fails. Note that a
+/// `&mut R` can be passed for `reader` since `Read` is implemented for
+/// mutable references.
+pub fn read_trace<R: Read>(reader: R) -> Result<VecTrace, TraceFormatError> {
+    let mut reader = io::BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(TraceFormatError::BadMagic(magic));
+    }
+    let mut count_buf = [0u8; 8];
+    reader.read_exact(&mut count_buf)?;
+    let expected = u64::from_le_bytes(count_buf);
+
+    let mut records = Vec::with_capacity(usize::try_from(expected).unwrap_or(0).min(1 << 24));
+    let mut buf = [0u8; RECORD_BYTES];
+    for offset in 0..expected {
+        match reader.read_exact(&mut buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Err(TraceFormatError::Truncated { expected, got: offset });
+            }
+            Err(e) => return Err(e.into()),
+        }
+        records.push(decode_record(&buf, offset)?);
+    }
+    Ok(VecTrace::new(records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::{BranchKind, BranchRecord};
+    use crate::stream::StreamExt;
+
+    fn sample() -> Vec<BranchRecord> {
+        vec![
+            BranchRecord::new(0x40_0000, 0x40_0a00, BranchKind::DirectCall, true, 11),
+            BranchRecord::new(0x40_0a08, 0x40_0a40, BranchKind::CondDirect, false, 2),
+            BranchRecord::new(0x40_0a44, 0x40_0004, BranchKind::Return, true, 0),
+            BranchRecord::new(0x40_0100, 0x40_0200, BranchKind::UncondIndirect, true, 300),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let records = sample();
+        let mut bytes = Vec::new();
+        let written = write_trace(VecTrace::new(records.clone()), &mut bytes).unwrap();
+        assert_eq!(written, records.len() as u64);
+        let trace = read_trace(bytes.as_slice()).unwrap();
+        assert_eq!(trace.records(), records.as_slice());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut bytes = Vec::new();
+        write_trace(VecTrace::default(), &mut bytes).unwrap();
+        let trace = read_trace(bytes.as_slice()).unwrap();
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let bytes = b"NOTATRCE\0\0\0\0\0\0\0\0".to_vec();
+        match read_trace(bytes.as_slice()) {
+            Err(TraceFormatError::BadMagic(_)) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_reported_with_counts() {
+        let mut bytes = Vec::new();
+        write_trace(VecTrace::new(sample()), &mut bytes).unwrap();
+        bytes.truncate(bytes.len() - RECORD_BYTES - 3);
+        match read_trace(bytes.as_slice()) {
+            Err(TraceFormatError::Truncated { expected: 4, got }) => assert_eq!(got, 2),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_kind_is_reported_at_its_offset() {
+        let mut bytes = Vec::new();
+        write_trace(VecTrace::new(sample()), &mut bytes).unwrap();
+        // Corrupt the kind byte of record 1.
+        bytes[16 + RECORD_BYTES + 16] = 0xEE;
+        match read_trace(bytes.as_slice()) {
+            Err(TraceFormatError::BadKind { offset: 1, value: 0xEE }) => {}
+            other => panic!("expected BadKind, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_taken_flag_is_rejected() {
+        let mut bytes = Vec::new();
+        write_trace(VecTrace::new(sample()), &mut bytes).unwrap();
+        bytes[16 + 17] = 7;
+        match read_trace(bytes.as_slice()) {
+            Err(TraceFormatError::BadTakenFlag { offset: 0, value: 7 }) => {}
+            other => panic!("expected BadTakenFlag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_respects_take_adapter() {
+        let mut bytes = Vec::new();
+        let written =
+            write_trace(VecTrace::new(sample()).take_branches(2), &mut bytes).unwrap();
+        assert_eq!(written, 2);
+        assert_eq!(read_trace(bytes.as_slice()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn errors_are_displayable_and_sourced() {
+        let err = TraceFormatError::Truncated { expected: 9, got: 1 };
+        assert!(err.to_string().contains("9"));
+        let io_err = TraceFormatError::from(io::Error::other("boom"));
+        assert!(Error::source(&io_err).is_some());
+    }
+}

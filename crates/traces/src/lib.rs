@@ -1,0 +1,38 @@
+//! Branch trace model and IO for the LLBP-X reproduction.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace: what a dynamic branch looks like ([`BranchRecord`]), how a
+//! sequence of them is consumed ([`BranchStream`]), how traces are persisted
+//! and replayed ([`format`]), and summary statistics ([`stats`]).
+//!
+//! The paper evaluates predictors on server traces in the ChampSim format.
+//! We reproduce the *role* of that format — persist a branch-level view of an
+//! execution and replay it deterministically — with a compact binary encoding
+//! of our own (see [`format`] for the layout). Workload generators in the
+//! `workloads` crate produce [`BranchStream`]s directly, so the common path
+//! never touches disk.
+//!
+//! # Example
+//!
+//! ```
+//! use traces::{BranchKind, BranchRecord, BranchStream, VecTrace};
+//!
+//! let trace = VecTrace::new(vec![
+//!     BranchRecord::new(0x40_0000, 0x40_0400, BranchKind::DirectCall, true, 7),
+//!     BranchRecord::new(0x40_0410, 0x40_0430, BranchKind::CondDirect, false, 3),
+//! ]);
+//! let total: u64 = trace.clone().into_iter().map(|r| r.instructions()).sum();
+//! assert_eq!(total, 12); // each record counts itself plus its gap
+//! ```
+
+pub mod branch;
+pub mod champsim;
+pub mod format;
+pub mod stats;
+pub mod stream;
+
+pub use branch::{BranchKind, BranchRecord};
+pub use champsim::{read_champsim, write_champsim, ChampSimInstr};
+pub use format::{read_trace, write_trace, TraceFormatError};
+pub use stats::TraceStats;
+pub use stream::{BranchStream, StreamExt, Take, VecTrace};

@@ -1,0 +1,77 @@
+//! Property-based tests for the trace model and binary format.
+
+use proptest::prelude::*;
+use traces::{read_trace, write_trace, BranchKind, BranchRecord, StreamExt, VecTrace};
+
+fn arb_kind() -> impl Strategy<Value = BranchKind> {
+    prop::sample::select(BranchKind::ALL.to_vec())
+}
+
+fn arb_record() -> impl Strategy<Value = BranchRecord> {
+    (any::<u64>(), any::<u64>(), arb_kind(), any::<bool>(), any::<u32>()).prop_map(
+        |(pc, target, kind, taken, gap)| {
+            // Unconditional branches are always taken by construction.
+            let taken = taken || kind.is_unconditional();
+            BranchRecord { pc, target, kind, taken, instr_gap: gap }
+        },
+    )
+}
+
+proptest! {
+    /// Every well-formed trace survives a write/read roundtrip bit-exactly.
+    #[test]
+    fn format_roundtrip_is_lossless(records in prop::collection::vec(arb_record(), 0..200)) {
+        let mut bytes = Vec::new();
+        let written = write_trace(VecTrace::new(records.clone()), &mut bytes).unwrap();
+        prop_assert_eq!(written, records.len() as u64);
+        let replayed = read_trace(bytes.as_slice()).unwrap();
+        prop_assert_eq!(replayed.records(), records.as_slice());
+    }
+
+    /// The encoded size is exactly header + 22 bytes per record.
+    #[test]
+    fn format_size_is_exact(records in prop::collection::vec(arb_record(), 0..100)) {
+        let mut bytes = Vec::new();
+        write_trace(VecTrace::new(records.clone()), &mut bytes).unwrap();
+        prop_assert_eq!(bytes.len(), 16 + records.len() * traces::format::RECORD_BYTES);
+    }
+
+    /// Truncating the body anywhere after the header always yields a
+    /// Truncated (or trailing-garbage-free) error, never a panic or a
+    /// silently short trace.
+    #[test]
+    fn truncation_never_panics(
+        records in prop::collection::vec(arb_record(), 1..50),
+        cut in 0usize..100,
+    ) {
+        let mut bytes = Vec::new();
+        write_trace(VecTrace::new(records.clone()), &mut bytes).unwrap();
+        let cut = 16 + (cut % (bytes.len() - 16));
+        bytes.truncate(cut);
+        prop_assert!(read_trace(bytes.as_slice()).is_err());
+    }
+
+    /// take_branches(n) yields exactly min(n, len) records, in order.
+    #[test]
+    fn take_respects_bounds(
+        records in prop::collection::vec(arb_record(), 0..100),
+        n in 0u64..200,
+    ) {
+        let taken: Vec<BranchRecord> =
+            VecTrace::new(records.clone()).take_branches(n).iter().collect();
+        let expected: Vec<BranchRecord> =
+            records.into_iter().take(n as usize).collect();
+        prop_assert_eq!(taken, expected);
+    }
+
+    /// Instruction accounting: sum of instructions() equals branches plus
+    /// the sum of gaps (no overflow for realistic values).
+    #[test]
+    fn instruction_accounting_is_additive(
+        records in prop::collection::vec(arb_record(), 0..100),
+    ) {
+        let total: u64 = records.iter().map(|r| r.instructions()).sum();
+        let gaps: u64 = records.iter().map(|r| u64::from(r.instr_gap)).sum();
+        prop_assert_eq!(total, gaps + records.len() as u64);
+    }
+}

@@ -1,0 +1,496 @@
+//! The synthetic server engine: turns a [`WorkloadSpec`] into a branch
+//! stream.
+//!
+//! Each *request* walks: a poll loop → dispatch branches encoding the
+//! request type → an indirect call into the per-type route function → a call
+//! into the shared handler → the handler body (leaf calls, conditional
+//! sites, jumps) → returns. See the crate docs for why this shape reproduces
+//! the phenomena the paper studies.
+
+use std::collections::VecDeque;
+
+use traces::{BranchKind, BranchRecord, BranchStream};
+
+use crate::hashing::{mix64, mix_all, mix_bool, mix_range, XorShift};
+use crate::spec::WorkloadSpec;
+use crate::zipf::Zipf;
+
+/// Address layout of the synthetic program (one region per function kind).
+pub mod layout {
+    /// Poll-loop branch ("more requests?").
+    pub const POLL_PC: u64 = 0x0100_0040;
+    /// Base of the dispatch-bit branches (`+ j * 0x40`).
+    pub const DISPATCH_BASE: u64 = 0x0100_0100;
+    /// The indirect call into the route function.
+    pub const DISPATCH_ICALL: u64 = 0x0100_0800;
+    /// Route function of request type `r`.
+    pub fn route_pc(r: usize) -> u64 {
+        0x0200_0000 + (r as u64) * 0x1000
+    }
+    /// Handler function of handler index `h`.
+    pub fn handler_pc(h: usize) -> u64 {
+        0x0300_0000 + (h as u64) * 0x1_0000
+    }
+    /// Base address of site `j` in handler `h` (each site spans 0x100).
+    pub fn site_base(h: usize, j: usize) -> u64 {
+        handler_pc(h) + 0x100 + (j as u64) * 0x100
+    }
+    /// Leaf function `l`.
+    pub fn leaf_pc(l: usize) -> u64 {
+        0x0400_0000 + (l as u64) * 0x1000
+    }
+}
+
+/// Static behaviour class of a handler site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteClass {
+    /// Outcome is a deterministic function of (site, request type, phase):
+    /// the bread-and-butter patterns that stress predictor capacity.
+    Typed,
+    /// Noisy-biased outcome (bias drawn per site): the irreducible floor.
+    Noisy,
+    /// Loop with a per-request-type trip count.
+    Loop,
+    /// Outcome depends on the *previous* request's type as well: the
+    /// hard-to-predict, long-history branches of §III-B.
+    H2p,
+}
+
+// Salts for the deterministic draws; arbitrary distinct constants.
+const SALT_CLASS: u64 = 0x11;
+const SALT_BIAS: u64 = 0x22;
+const SALT_DIR: u64 = 0x33;
+const SALT_OUTCOME: u64 = 0x44;
+const SALT_H2P: u64 = 0x55;
+const SALT_TRIP: u64 = 0x66;
+const SALT_LEAF: u64 = 0x77;
+const SALT_JUMP: u64 = 0x88;
+const SALT_LEAF_CALL: u64 = 0x99;
+const SALT_RBITS: u64 = 0xaa;
+
+/// A deterministic branch-stream generator for one [`WorkloadSpec`].
+///
+/// Implements [`BranchStream`] and never ends; bound it with
+/// [`traces::StreamExt::take_branches`].
+#[derive(Debug, Clone)]
+pub struct ServerWorkload {
+    spec: WorkloadSpec,
+    zipf: Zipf,
+    rng: XorShift,
+    /// Phase counters, indexed by `(h, j, r / handlers)`.
+    phase: Vec<u8>,
+    /// Recency list of request types (session working set).
+    working: VecDeque<usize>,
+    current_r: usize,
+    prev_r: usize,
+    prev2_r: usize,
+    buf: VecDeque<BranchRecord>,
+    requests: u64,
+}
+
+impl ServerWorkload {
+    /// Builds the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` fails [`WorkloadSpec::validate`].
+    pub fn new(spec: &WorkloadSpec) -> Self {
+        if let Err(e) = spec.validate() {
+            panic!("invalid workload spec `{}`: {e}", spec.name);
+        }
+        let mut rng = XorShift::new(spec.seed);
+        let zipf = Zipf::new(spec.request_types, spec.zipf_exponent);
+        let first = zipf.sample(&mut rng);
+        ServerWorkload {
+            phase: vec![
+                0;
+                spec.handlers * spec.branches_per_handler * spec.types_per_handler()
+            ],
+            zipf,
+            rng,
+            working: VecDeque::with_capacity(8),
+            current_r: first,
+            prev_r: first,
+            prev2_r: first,
+            buf: VecDeque::with_capacity(512),
+            requests: 0,
+            spec: spec.clone(),
+        }
+    }
+
+    /// The spec this generator was built from.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Requests fully emitted so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Static class of handler site `(h, j)`.
+    ///
+    /// The last [`WorkloadSpec::h2p_per_handler`] sites of each handler are
+    /// H2P; the rest are split by a per-site deterministic draw.
+    pub fn site_class(spec: &WorkloadSpec, h: usize, j: usize) -> SiteClass {
+        if j >= spec.branches_per_handler - spec.h2p_per_handler {
+            return SiteClass::H2p;
+        }
+        let u = mix_all(&[spec.seed, h as u64, j as u64, SALT_CLASS]) as f64
+            / u64::MAX as f64;
+        if u < spec.noise_fraction {
+            SiteClass::Noisy
+        } else if u < spec.noise_fraction + spec.loop_fraction {
+            SiteClass::Loop
+        } else {
+            SiteClass::Typed
+        }
+    }
+
+    /// Maps a conditional-branch PC back to its handler site, if it is one.
+    pub fn classify_pc(spec: &WorkloadSpec, pc: u64) -> Option<(usize, usize, SiteClass)> {
+        if !(0x0300_0000..0x0400_0000).contains(&pc) {
+            return None;
+        }
+        let h = ((pc - 0x0300_0000) / 0x1_0000) as usize;
+        let within = pc - layout::handler_pc(h);
+        if within < 0x100 || h >= spec.handlers {
+            return None;
+        }
+        let j = ((within - 0x100) / 0x100) as usize;
+        if j >= spec.branches_per_handler {
+            return None;
+        }
+        Some((h, j, Self::site_class(spec, h, j)))
+    }
+
+    #[inline]
+    fn gap(&mut self) -> u32 {
+        let span = u64::from(self.spec.gap_max - self.spec.gap_min) + 1;
+        self.spec.gap_min + self.rng.next_range(span) as u32
+    }
+
+    #[inline]
+    fn push(&mut self, pc: u64, target: u64, kind: BranchKind, taken: bool) {
+        let gap = self.gap();
+        self.buf.push_back(BranchRecord::new(pc, target, kind, taken, gap));
+    }
+
+    /// Samples the next request type (session bursts + working set + Zipf).
+    fn next_request_type(&mut self) -> usize {
+        if self.rng.next_bool(self.spec.session_stay) {
+            return self.current_r;
+        }
+        let r = if !self.working.is_empty() && self.rng.next_bool(self.spec.local_prob) {
+            let i = self.rng.next_range(self.working.len() as u64) as usize;
+            self.working[i]
+        } else {
+            self.zipf.sample(&mut self.rng)
+        };
+        // Move-to-front recency update.
+        self.working.retain(|&w| w != r);
+        self.working.push_front(r);
+        self.working.truncate(self.spec.working_set);
+        r
+    }
+
+    #[inline]
+    fn phase_index(&self, h: usize, j: usize, r: usize) -> usize {
+        (h * self.spec.branches_per_handler + j) * self.spec.types_per_handler()
+            + r / self.spec.handlers
+    }
+
+    fn emit_leaf(&mut self, h: usize, j: usize, r: usize) {
+        let spec = &self.spec;
+        let l = mix_range(
+            &[spec.seed, h as u64, j as u64, (r % spec.leaf_select_mod) as u64, SALT_LEAF],
+            spec.leaves as u64,
+        ) as usize;
+        let site = layout::site_base(h, j);
+        let leaf = layout::leaf_pc(l);
+        self.push(site, leaf, BranchKind::DirectCall, true);
+
+        // Branch 1: noisy-biased, per-leaf bias and direction. Kept highly
+        // biased: each leaf call injects one weakly-noisy bit into global
+        // history, and the density of such bits bounds how often long
+        // patterns re-match.
+        let bias = 0.97
+            + 0.025 * (mix_all(&[self.spec.seed, l as u64, SALT_BIAS]) as f64 / u64::MAX as f64);
+        let dir = mix_bool(&[self.spec.seed, l as u64, SALT_DIR]);
+        let b1 = self.rng.next_bool(bias) == dir;
+        self.push(leaf + 0x40, leaf + 0x60, BranchKind::CondDirect, b1);
+
+        // Optional short fixed-trip loop (half the leaves).
+        if l.is_multiple_of(2) {
+            let trip = 1 + (l as u32 % 3);
+            for i in 0..=trip {
+                self.push(leaf + 0x80, leaf + 0x74, BranchKind::CondDirect, i < trip);
+            }
+        }
+
+        // Branch 2: copies (or inverts) branch 1 — pure short-history
+        // correlation, the "easy" pattern contextualization duplicates.
+        let b2 = b1 ^ mix_bool(&[self.spec.seed, l as u64, 2]);
+        self.push(leaf + 0xc0, leaf + 0xe0, BranchKind::CondDirect, b2);
+
+        self.push(leaf + 0x100, site + 4, BranchKind::Return, true);
+    }
+
+    fn emit_site(&mut self, h: usize, j: usize, r: usize) {
+        let spec_seed = self.spec.seed;
+        let site = layout::site_base(h, j);
+        let branch_pc = site + 0x40;
+        match Self::site_class(&self.spec, h, j) {
+            SiteClass::Typed => {
+                let idx = self.phase_index(h, j, r);
+                let p = self.phase[idx];
+                self.phase[idx] = (p + 1) % self.spec.phases;
+                let taken = mix_bool(&[
+                    spec_seed,
+                    h as u64,
+                    j as u64,
+                    r as u64,
+                    u64::from(p),
+                    SALT_OUTCOME,
+                ]);
+                self.push(branch_pc, branch_pc + 0x20, BranchKind::CondDirect, taken);
+            }
+            SiteClass::Noisy => {
+                let span = self.spec.noise_bias_max - self.spec.noise_bias_min;
+                let bias = self.spec.noise_bias_min
+                    + span
+                        * (mix_all(&[spec_seed, h as u64, j as u64, SALT_BIAS]) as f64
+                            / u64::MAX as f64);
+                let dir = mix_bool(&[spec_seed, h as u64, j as u64, SALT_DIR]);
+                let taken = self.rng.next_bool(bias) == dir;
+                self.push(branch_pc, branch_pc + 0x20, BranchKind::CondDirect, taken);
+            }
+            SiteClass::Loop => {
+                let trip = 1 + mix_range(
+                    &[spec_seed, h as u64, j as u64, r as u64, SALT_TRIP],
+                    u64::from(self.spec.max_trip),
+                ) as u32;
+                for i in 0..=trip {
+                    self.push(branch_pc, branch_pc - 0x10, BranchKind::CondDirect, i < trip);
+                }
+            }
+            SiteClass::H2p => {
+                // Deterministic in (site, current type, previous type): the
+                // disambiguating information sits a full request back in
+                // global history — one to a few hundred bits — and each
+                // site needs one pattern per (r, prev_r) pair. These are
+                // the paper's H2P branches.
+                let taken = mix_bool(&[
+                    spec_seed,
+                    h as u64,
+                    j as u64,
+                    r as u64,
+                    self.prev_r as u64,
+                    SALT_H2P,
+                ]);
+                self.push(branch_pc, branch_pc + 0x20, BranchKind::CondDirect, taken);
+            }
+        }
+    }
+
+    /// Emits the full record sequence of one request into the buffer.
+    fn emit_request(&mut self) {
+        let r = self.next_request_type();
+        let h = r % self.spec.handlers;
+
+        // Poll loop: almost always "another request is ready".
+        let poll_taken = !self.rng.next_bool(0.02);
+        self.push(layout::POLL_PC, layout::POLL_PC - 0x20, BranchKind::CondDirect, poll_taken);
+
+        // Dispatch bits encode a mixed image of r (balanced bits).
+        let rbits = mix64(self.spec.seed ^ (r as u64) ^ SALT_RBITS);
+        for j in 0..self.spec.dispatch_bits {
+            let pc = layout::DISPATCH_BASE + u64::from(j) * 0x40;
+            let taken = (rbits >> j) & 1 == 1;
+            self.push(pc, pc + 0x20, BranchKind::CondDirect, taken);
+        }
+
+        // Into the route function (target encodes r in the UB stream).
+        let route = layout::route_pc(r);
+        self.push(layout::DISPATCH_ICALL, route, BranchKind::IndirectCall, true);
+        let handler = layout::handler_pc(h);
+        self.push(route + 0x10, handler, BranchKind::DirectCall, true);
+
+        // Handler body.
+        for j in 0..self.spec.branches_per_handler {
+            let leaf_draw = mix_all(&[self.spec.seed, h as u64, j as u64, SALT_LEAF_CALL])
+                as f64
+                / u64::MAX as f64;
+            if leaf_draw < self.spec.leaf_call_prob {
+                self.emit_leaf(h, j, r);
+            }
+            self.emit_site(h, j, r);
+            let jump_draw = mix_all(&[self.spec.seed, h as u64, j as u64, SALT_JUMP]) as f64
+                / u64::MAX as f64;
+            let has_jump = jump_draw < self.spec.jump_prob;
+            if has_jump {
+                let site = layout::site_base(h, j);
+                self.push(site + 0x80, site + 0x100, BranchKind::UncondDirect, true);
+            }
+        }
+
+        // Unwind.
+        let ret_pc = handler + 0x100 + (self.spec.branches_per_handler as u64) * 0x100;
+        self.push(ret_pc, route + 0x14, BranchKind::Return, true);
+        self.push(route + 0x20, layout::DISPATCH_ICALL + 4, BranchKind::Return, true);
+
+        self.prev2_r = self.prev_r;
+        self.prev_r = self.current_r;
+        self.current_r = r;
+        self.requests += 1;
+    }
+}
+
+impl BranchStream for ServerWorkload {
+    #[inline]
+    fn next_branch(&mut self) -> Option<BranchRecord> {
+        loop {
+            if let Some(r) = self.buf.pop_front() {
+                return Some(r);
+            }
+            self.emit_request();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traces::{StreamExt, TraceStats};
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec::new("test", 7)
+            .with_request_types(64)
+            .with_handlers(8)
+            .with_branches_per_handler(12)
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let a: Vec<_> = ServerWorkload::new(&small_spec()).take_branches(5000).iter().collect();
+        let b: Vec<_> = ServerWorkload::new(&small_spec()).take_branches(5000).iter().collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = ServerWorkload::new(&WorkloadSpec { seed: 8, ..small_spec() })
+            .take_branches(5000)
+            .iter()
+            .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn unconditionals_are_always_taken() {
+        for rec in ServerWorkload::new(&small_spec()).take_branches(20_000).iter() {
+            if rec.kind.is_unconditional() {
+                assert!(rec.taken, "unconditional at {:#x} not taken", rec.pc);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_has_server_like_shape() {
+        let stats =
+            TraceStats::from_stream(ServerWorkload::new(&small_spec()).take_branches(50_000));
+        // Conditional majority, healthy unconditional mix for the RCR.
+        let cond_share = stats.conditional_branches() as f64 / stats.branches as f64;
+        assert!((0.5..0.95).contains(&cond_share), "conditional share {cond_share}");
+        assert!(stats.per_kind[BranchKind::DirectCall as usize] > 1000);
+        assert!(stats.per_kind[BranchKind::Return as usize] > 1000);
+        assert!(stats.per_kind[BranchKind::IndirectCall as usize] > 100);
+        // Calls and returns must balance (every call returns).
+        let calls = stats.per_kind[BranchKind::DirectCall as usize]
+            + stats.per_kind[BranchKind::IndirectCall as usize];
+        let rets = stats.per_kind[BranchKind::Return as usize];
+        let imbalance = (calls as f64 - rets as f64).abs() / calls as f64;
+        assert!(imbalance < 0.05, "call/return imbalance {imbalance}");
+    }
+
+    #[test]
+    fn site_classes_cover_the_mix() {
+        let spec = small_spec();
+        let mut seen = std::collections::HashMap::new();
+        for h in 0..spec.handlers {
+            for j in 0..spec.branches_per_handler {
+                *seen.entry(ServerWorkload::site_class(&spec, h, j)).or_insert(0) += 1;
+            }
+        }
+        assert!(seen[&SiteClass::Typed] > 0);
+        assert!(seen[&SiteClass::H2p] as usize == spec.handlers * spec.h2p_per_handler);
+        // Noise/loop fractions are statistical; with 96 sites expect ≥ 1.
+        assert!(seen.get(&SiteClass::Noisy).copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn classify_pc_roundtrips_site_addresses() {
+        let spec = small_spec();
+        for h in [0usize, 3, 7] {
+            for j in [0usize, 5, 11] {
+                let pc = layout::site_base(h, j) + 0x40;
+                let (ch, cj, class) =
+                    ServerWorkload::classify_pc(&spec, pc).expect("site pc classifies");
+                assert_eq!((ch, cj), (h, j));
+                assert_eq!(class, ServerWorkload::site_class(&spec, h, j));
+            }
+        }
+        assert_eq!(ServerWorkload::classify_pc(&spec, layout::POLL_PC), None);
+        assert_eq!(ServerWorkload::classify_pc(&spec, layout::leaf_pc(3) + 0x40), None);
+    }
+
+    #[test]
+    fn h2p_outcomes_depend_on_previous_request_type() {
+        // Directly check the outcome function: same (h, j, r, phase) but
+        // different prev_r must flip the outcome for some inputs.
+        let spec = small_spec();
+        let h = 0;
+        let j = spec.branches_per_handler - 1; // an H2P site
+        assert_eq!(ServerWorkload::site_class(&spec, h, j), SiteClass::H2p);
+        let outcomes: Vec<bool> = (0..32u64)
+            .map(|prev| {
+                mix_bool(&[spec.seed, h as u64, j as u64, 5, prev, 3, SALT_H2P])
+            })
+            .collect();
+        assert!(outcomes.iter().any(|&o| o) && outcomes.iter().any(|&o| !o));
+    }
+
+    #[test]
+    fn gaps_respect_the_configured_range() {
+        let spec = small_spec();
+        for rec in ServerWorkload::new(&spec).take_branches(10_000).iter() {
+            assert!((spec.gap_min..=spec.gap_max).contains(&rec.instr_gap));
+        }
+    }
+
+    #[test]
+    fn session_stay_controls_type_churn() {
+        let churn = |stay: f64| {
+            let spec = WorkloadSpec { session_stay: stay, ..small_spec() };
+            let mut w = ServerWorkload::new(&spec);
+            let mut changes = 0;
+            let mut last = w.current_r;
+            for _ in 0..2000 {
+                w.emit_request();
+                if w.current_r != last {
+                    changes += 1;
+                }
+                last = w.current_r;
+                w.buf.clear();
+            }
+            changes
+        };
+        assert!(churn(0.95) < churn(0.3), "higher stay must mean fewer type changes");
+    }
+
+    #[test]
+    fn requests_counter_advances() {
+        let mut w = ServerWorkload::new(&small_spec());
+        for _ in 0..1000 {
+            let _ = w.next_branch();
+        }
+        assert!(w.requests() > 0);
+        assert!(w.spec().name == "test");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the synthetic workload generator.
+
+use proptest::prelude::*;
+use traces::{BranchStream, StreamExt};
+use workloads::{ServerWorkload, WorkloadSpec, Zipf};
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        any::<u64>(),
+        1usize..6,   // handlers  = 8 << h
+        0usize..3,   // type multiple
+        8usize..30,  // branches per handler
+        0usize..4,   // h2p
+        0.0f64..0.3, // noise fraction
+        0.5f64..1.0, // session stay
+    )
+        .prop_map(|(seed, h, t, b, h2p, noise, stay)| {
+            let handlers = 8 << h;
+            WorkloadSpec::new("prop", seed)
+                .with_handlers(handlers)
+                .with_request_types(handlers * (t + 1))
+                .with_branches_per_handler(b)
+                .with_h2p_per_handler(h2p.min(b))
+                .with_noise(noise, 0.85, 0.98)
+                .with_session_stay(stay)
+        })
+        .prop_filter("valid spec", |s| s.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any valid spec generates a well-formed stream: unconditionals are
+    /// taken, gaps respect bounds, and the stream never ends early.
+    #[test]
+    fn generated_streams_are_well_formed(spec in arb_spec()) {
+        let mut stream = ServerWorkload::new(&spec);
+        for _ in 0..3000 {
+            let rec = stream.next_branch().expect("stream is infinite");
+            if rec.kind.is_unconditional() {
+                prop_assert!(rec.taken, "unconditional not taken at {:#x}", rec.pc);
+            }
+            prop_assert!((spec.gap_min..=spec.gap_max).contains(&rec.instr_gap));
+        }
+    }
+
+    /// Identical specs generate bit-identical streams; different seeds
+    /// diverge.
+    #[test]
+    fn generation_is_seed_deterministic(spec in arb_spec()) {
+        let a: Vec<_> = ServerWorkload::new(&spec).take_branches(2000).iter().collect();
+        let b: Vec<_> = ServerWorkload::new(&spec).take_branches(2000).iter().collect();
+        prop_assert_eq!(&a, &b);
+        let mut other = spec.clone();
+        other.seed = spec.seed.wrapping_add(1);
+        let c: Vec<_> = ServerWorkload::new(&other).take_branches(2000).iter().collect();
+        prop_assert_ne!(a, c);
+    }
+
+    /// Site classification is total and stable over the whole handler grid.
+    #[test]
+    fn site_classes_are_stable(spec in arb_spec()) {
+        for h in 0..spec.handlers {
+            for j in 0..spec.branches_per_handler {
+                let a = ServerWorkload::site_class(&spec, h, j);
+                let b = ServerWorkload::site_class(&spec, h, j);
+                prop_assert_eq!(a, b);
+                let pc = workloads::engine::layout::site_base(h, j) + 0x40;
+                let (ch, cj, class) = ServerWorkload::classify_pc(&spec, pc)
+                    .expect("site pcs classify");
+                prop_assert_eq!((ch, cj, class), (h, j, a));
+            }
+        }
+    }
+
+    /// The Zipf CDF is monotone and samples stay in range for any shape.
+    #[test]
+    fn zipf_is_well_formed(n in 1usize..2000, s in 0.0f64..2.5, seed in any::<u64>()) {
+        let zipf = Zipf::new(n, s);
+        let mut rng = workloads::hashing::XorShift::new(seed);
+        let mut acc = 0.0;
+        for i in 0..n {
+            let p = zipf.pmf(i);
+            prop_assert!(p >= 0.0);
+            acc += p;
+        }
+        prop_assert!((acc - 1.0).abs() < 1e-6);
+        for _ in 0..200 {
+            prop_assert!(zipf.sample(&mut rng) < n);
+        }
+    }
+
+    /// mix_range is always within its bound.
+    #[test]
+    fn mix_range_is_bounded(parts in prop::collection::vec(any::<u64>(), 1..6), bound in 1u64..10_000) {
+        prop_assert!(workloads::hashing::mix_range(&parts, bound) < bound);
+    }
+}
