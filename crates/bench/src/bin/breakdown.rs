@@ -6,19 +6,20 @@ use llbpx::LlbpxConfig;
 
 fn main() {
     let sim = bench::sim();
+    let mut telemetry = bench::Telemetry::new("breakdown");
     let mut table = Table::new(
         "\u{a7}VII-E — optimization breakdown (MPKI reduction over LLBP)",
         &["workload", "depth adaptation only", "full LLBP-X"],
     );
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); 2];
     for preset in bench::presets() {
-        let base = bench::run(&mut bench::llbp(), &preset.spec, &sim);
+        let base = telemetry.run(&mut bench::llbp(), &preset.spec, &sim);
         let depth_only = LlbpxConfig::paper_baseline().without_history_range_selection();
         let mut cells = vec![preset.spec.name.clone()];
         for (i, mut design) in
             [bench::llbpx_with(depth_only), bench::llbpx()].into_iter().enumerate()
         {
-            let r = bench::run(&mut design, &preset.spec, &sim);
+            let r = telemetry.run(&mut design, &preset.spec, &sim);
             ratios[i].push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }

@@ -12,6 +12,7 @@ use bpsim::CoreParams;
 
 fn main() {
     let sim = bench::sim();
+    let mut telemetry = bench::Telemetry::new("fig01");
     let sky_core = CoreParams::skylake_like();
     let spr_core = CoreParams::sapphire_rapids_like();
 
@@ -29,8 +30,8 @@ fn main() {
             continue;
         }
         // Skylake-class predictor: 64K TSL. SPR-class: larger (128K).
-        let skl = bench::run(&mut bench::tsl64(), &preset.spec, &sim);
-        let spr = bench::run(&mut bench::tsl(128), &preset.spec, &sim);
+        let skl = telemetry.run(&mut bench::tsl64(), &preset.spec, &sim);
+        let spr = telemetry.run(&mut bench::tsl(128), &preset.spec, &sim);
 
         let skl_frac = sky_core.branch_stall_fraction(skl.instructions, skl.mispredicts);
         let spr_frac = spr_core.branch_stall_fraction(spr.instructions, spr.mispredicts);

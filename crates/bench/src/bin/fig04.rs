@@ -5,20 +5,21 @@ use bpsim::report::{f3, geomean, pct, Table};
 
 fn main() {
     let sim = bench::sim();
+    let mut telemetry = bench::Telemetry::new("fig04");
     let mut table = Table::new(
         "Fig. 4 — MPKI normalized to 64K TSL (lower is better)",
         &["workload", "64K MPKI", "LLBP", "LLBP-0Lat", "512K TSL", "Inf TSL"],
     );
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); 4];
     for preset in bench::presets() {
-        let base = bench::run(&mut bench::tsl64(), &preset.spec, &sim);
+        let base = telemetry.run(&mut bench::tsl64(), &preset.spec, &sim);
         let mut cells = vec![preset.spec.name.clone(), f3(base.mpki())];
         for (i, mut design) in
             [bench::llbp(), bench::llbp_0lat(), bench::tsl(512), bench::tsl_inf()]
                 .into_iter()
                 .enumerate()
         {
-            let r = bench::run(&mut design, &preset.spec, &sim);
+            let r = telemetry.run(&mut design, &preset.spec, &sim);
             let ratio = r.mpki() / base.mpki();
             ratios[i].push(ratio);
             cells.push(f3(ratio));

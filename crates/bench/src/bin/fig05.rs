@@ -14,6 +14,7 @@ use llbpx::LlbpConfig;
 
 fn main() {
     let sim = bench::sim();
+    let mut telemetry = bench::Telemetry::new("fig05");
     type StepList = Vec<(&'static str, fn() -> LlbpConfig)>;
     let steps: StepList = vec![
         ("+No Design Tweaks", LlbpConfig::no_design_tweaks),
@@ -33,10 +34,10 @@ fn main() {
     let presets = bench::representative_presets();
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); steps.len()];
     for preset in &presets {
-        let base = bench::run(&mut bench::llbp_0lat(), &preset.spec, &sim);
+        let base = telemetry.run(&mut bench::llbp_0lat(), &preset.spec, &sim);
         let mut cells = vec![preset.spec.name.clone(), f3(base.mpki())];
         for (i, (_, cfg)) in steps.iter().enumerate() {
-            let r = bench::run(&mut bench::llbp_with(cfg()), &preset.spec, &sim);
+            let r = telemetry.run(&mut bench::llbp_with(cfg()), &preset.spec, &sim);
             let ratio = r.mpki() / base.mpki();
             ratios[i].push(ratio);
             cells.push(f3(ratio));

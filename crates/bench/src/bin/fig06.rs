@@ -6,16 +6,16 @@
 //! 16-pattern set capacity (paper: 14%) and the fraction with ≤ 8 useful
 //! patterns (paper: 68%).
 
-use bpsim::analysis::analyze_contexts;
 use bpsim::report::{pct, Table};
 
 fn main() {
     let sim = bench::sim();
+    let mut telemetry = bench::Telemetry::new("fig06");
     let preset = bench::presets()
         .into_iter()
         .find(|p| p.spec.name == "NodeApp")
         .unwrap_or_else(|| bench::presets().remove(0));
-    let analysis = analyze_contexts(&preset.spec, 8, &sim);
+    let analysis = telemetry.analyze(&preset.spec, 8, &sim);
 
     let mut table = Table::new(
         format!("Fig. 6 — useful patterns per context, {} (W=8)", preset.spec.name),

@@ -5,16 +5,16 @@
 //! longest-history patterns (avg up to 112 bits on the left, ~17 on the
 //! right of the sorted axis).
 
-use bpsim::analysis::analyze_contexts;
 use bpsim::report::{f3, mean, Table};
 
 fn main() {
     let sim = bench::sim();
+    let mut telemetry = bench::Telemetry::new("fig07");
     let preset = bench::presets()
         .into_iter()
         .find(|p| p.spec.name == "NodeApp")
         .unwrap_or_else(|| bench::presets().remove(0));
-    let analysis = analyze_contexts(&preset.spec, 8, &sim);
+    let analysis = telemetry.analyze(&preset.spec, 8, &sim);
 
     let mut table = Table::new(
         format!("Fig. 7 — avg history length per context, {} (Fig. 6 order)", preset.spec.name),

@@ -5,12 +5,13 @@
 //! contexts / unique useful patterns. Short histories duplicate most, and
 //! duplication grows with W (§III-C).
 
-use bpsim::analysis::{analyze_contexts, len_label};
+use bpsim::analysis::len_label;
 use bpsim::report::Table;
 use tage::NUM_TABLES;
 
 fn main() {
     let sim = bench::sim();
+    let mut telemetry = bench::Telemetry::new("fig08");
     let preset = bench::presets()
         .into_iter()
         .find(|p| p.spec.name == "NodeApp")
@@ -18,7 +19,7 @@ fn main() {
 
     let depths = [2usize, 8, 64];
     let analyses: Vec<_> =
-        depths.iter().map(|&w| analyze_contexts(&preset.spec, w, &sim)).collect();
+        depths.iter().map(|&w| telemetry.analyze(&preset.spec, w, &sim)).collect();
 
     let mut table = Table::new(
         format!("Fig. 8 — duplicates per unique useful pattern, {}", preset.spec.name),

@@ -5,20 +5,21 @@
 //! contexts win on short history lengths (less duplication), deep contexts
 //! win on long history lengths (better spreading).
 
-use bpsim::analysis::{analyze_contexts, len_label, useful_change_by_len};
+use bpsim::analysis::{len_label, useful_change_by_len};
 use bpsim::report::{pct, Table};
 use tage::NUM_TABLES;
 
 fn main() {
     let sim = bench::sim();
+    let mut telemetry = bench::Telemetry::new("fig09");
     let preset = bench::presets()
         .into_iter()
         .find(|p| p.spec.name == "NodeApp")
         .unwrap_or_else(|| bench::presets().remove(0));
 
-    let base = analyze_contexts(&preset.spec, 8, &sim);
-    let shallow = analyze_contexts(&preset.spec, 2, &sim);
-    let deep = analyze_contexts(&preset.spec, 64, &sim);
+    let base = telemetry.analyze(&preset.spec, 8, &sim);
+    let shallow = telemetry.analyze(&preset.spec, 2, &sim);
+    let deep = telemetry.analyze(&preset.spec, 64, &sim);
     let d_shallow = useful_change_by_len(&base, &shallow);
     let d_deep = useful_change_by_len(&base, &deep);
 

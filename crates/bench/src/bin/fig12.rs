@@ -5,13 +5,14 @@ use bpsim::report::{f3, geomean, pct, Table};
 
 fn main() {
     let sim = bench::sim();
+    let mut telemetry = bench::Telemetry::new("fig12");
     let mut table = Table::new(
         "Fig. 12 — branch misprediction reduction over 64K TSL",
         &["workload", "64K MPKI", "LLBP", "LLBP-X", "LLBP-X Opt-W", "512K TSL"],
     );
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); 4];
     for preset in bench::presets() {
-        let base = bench::run(&mut bench::tsl64(), &preset.spec, &sim);
+        let base = telemetry.run(&mut bench::tsl64(), &preset.spec, &sim);
         let mut cells = vec![preset.spec.name.clone(), f3(base.mpki())];
 
         let oracle = bench::opt_w_oracle(&preset.spec, &sim);
@@ -22,7 +23,7 @@ fn main() {
             bench::tsl(512),
         ];
         for (i, mut design) in designs.into_iter().enumerate() {
-            let r = bench::run(&mut design, &preset.spec, &sim);
+            let r = telemetry.run(&mut design, &preset.spec, &sim);
             ratios[i].push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }

@@ -10,6 +10,7 @@ use bpsim::CoreParams;
 
 fn main() {
     let sim = bench::sim();
+    let mut telemetry = bench::Telemetry::new("fig13");
     let core = CoreParams::paper_table2();
     let mut table = Table::new(
         "Fig. 13 — speedup over 64K TSL (8-wide OoO model)",
@@ -20,13 +21,13 @@ fn main() {
         if !preset.in_gem5_eval && std::env::var("REPRO_WORKLOADS").is_err() {
             continue; // Google traces: trace-only, as in the paper.
         }
-        let base = bench::run(&mut bench::tsl64(), &preset.spec, &sim);
+        let base = telemetry.run(&mut bench::tsl64(), &preset.spec, &sim);
         let mut cells = vec![preset.spec.name.clone()];
         for (i, mut design) in [bench::llbp(), bench::llbpx(), bench::tsl(512)]
             .into_iter()
             .enumerate()
         {
-            let r = bench::run(&mut design, &preset.spec, &sim);
+            let r = telemetry.run(&mut design, &preset.spec, &sim);
             let s = core.speedup(&base, &r);
             speedups[i].push(s);
             cells.push(f3(s));

@@ -11,6 +11,7 @@ use llbpx::{FalsePathMode, LlbpxConfig};
 
 fn main() {
     let sim = bench::sim();
+    let mut telemetry = bench::Telemetry::new("fig14a");
     let mut table = Table::new(
         "Fig. 14a — prefetch effectiveness (share of issued prefetches)",
         &["workload", "mode", "on-time", "late", "unused", "MPKI"],
@@ -20,7 +21,7 @@ fn main() {
         for (mi, mode) in [FalsePathMode::Include, FalsePathMode::Flush].into_iter().enumerate() {
             let mut cfg = LlbpxConfig::paper_baseline();
             cfg.base.false_path = mode;
-            let r = bench::run(&mut bench::llbpx_with(cfg), &preset.spec, &sim);
+            let r = telemetry.run(&mut bench::llbpx_with(cfg), &preset.spec, &sim);
             let s = r.llbp.as_ref().expect("LLBP stats");
             let classified = (s.prefetch_on_time + s.prefetch_late + s.prefetch_unused).max(1);
             let on_time = s.prefetch_on_time as f64 / classified as f64;

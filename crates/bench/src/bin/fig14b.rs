@@ -11,6 +11,7 @@ use bpsim::CoreParams;
 
 fn main() {
     let sim = bench::sim();
+    let mut telemetry = bench::Telemetry::new("fig14b");
     let core = CoreParams::paper_table2_overriding();
     let mut table = Table::new(
         "Fig. 14b — speedup over 64K TSL in a 3-cycle overriding scheme",
@@ -21,10 +22,10 @@ fn main() {
         if !preset.in_gem5_eval && std::env::var("REPRO_WORKLOADS").is_err() {
             continue;
         }
-        let base = bench::run(&mut bench::tsl64(), &preset.spec, &sim);
+        let base = telemetry.run(&mut bench::tsl64(), &preset.spec, &sim);
         let mut cells = vec![preset.spec.name.clone()];
         for (i, mut design) in [bench::tsl(128), bench::llbpx()].into_iter().enumerate() {
-            let r = bench::run(&mut design, &preset.spec, &sim);
+            let r = telemetry.run(&mut design, &preset.spec, &sim);
             let s = core.speedup(&base, &r);
             speedups[i].push(s);
             cells.push(f3(s));

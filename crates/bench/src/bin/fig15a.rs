@@ -5,14 +5,15 @@ use bpsim::report::{f3, mean, pct, Table};
 
 fn main() {
     let sim = bench::sim();
+    let mut telemetry = bench::Telemetry::new("fig15a");
     let mut table = Table::new(
         "Fig. 15a — pattern store <-> pattern buffer transfer (bits/instr)",
         &["workload", "LLBP reads", "LLBP writes", "X reads", "X writes", "total change"],
     );
     let mut totals: Vec<Vec<f64>> = vec![Vec::new(); 2];
     for preset in bench::presets() {
-        let rl = bench::run(&mut bench::llbp(), &preset.spec, &sim);
-        let rx = bench::run(&mut bench::llbpx(), &preset.spec, &sim);
+        let rl = telemetry.run(&mut bench::llbp(), &preset.spec, &sim);
+        let rx = telemetry.run(&mut bench::llbpx(), &preset.spec, &sim);
         let (lr, lw) = rl
             .llbp
             .as_ref()

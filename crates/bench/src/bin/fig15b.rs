@@ -9,14 +9,15 @@ use bpsim::report::{pct, Table};
 
 fn main() {
     let sim = bench::sim();
+    let mut telemetry = bench::Telemetry::new("fig15b");
     let mut table = Table::new(
         "Fig. 15b — LLBP-X energy relative to LLBP",
         &["workload", "PS energy", "CTT energy", "total"],
     );
     let mut rel_totals = Vec::new();
     for preset in bench::presets() {
-        let rl = bench::run(&mut bench::llbp(), &preset.spec, &sim);
-        let rx = bench::run(&mut bench::llbpx(), &preset.spec, &sim);
+        let rl = telemetry.run(&mut bench::llbp(), &preset.spec, &sim);
+        let rx = telemetry.run(&mut bench::llbpx(), &preset.spec, &sim);
         let sl = rl.llbp.as_ref().expect("LLBP stats");
         let sx = rx.llbp.as_ref().expect("LLBP-X stats");
 

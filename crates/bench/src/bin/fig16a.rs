@@ -7,6 +7,7 @@ use llbpx::LlbpxConfig;
 
 fn main() {
     let sim = bench::sim();
+    let mut telemetry = bench::Telemetry::new("fig16a");
     // Contexts = 2^log2_sets × 7 ways. The paper sweeps 8K..128K around
     // the 14K baseline; our synthetic context working set saturates around
     // ~14K contexts, so the sweep extends further down instead to expose
@@ -24,12 +25,12 @@ fn main() {
 
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); sweeps.len()];
     for preset in &presets {
-        let base = bench::run(&mut bench::tsl64(), &preset.spec, &sim);
+        let base = telemetry.run(&mut bench::tsl64(), &preset.spec, &sim);
         let mut cells = vec![preset.spec.name.clone()];
         for (i, &(log2_sets, _)) in sweeps.iter().enumerate() {
             let mut cfg = LlbpxConfig::zero_latency();
             cfg.base.cd_log2_sets = log2_sets;
-            let r = bench::run(&mut bench::llbpx_with(cfg), &preset.spec, &sim);
+            let r = telemetry.run(&mut bench::llbpx_with(cfg), &preset.spec, &sim);
             ratios[i].push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }

@@ -8,6 +8,7 @@ use tage::TslConfig;
 
 fn main() {
     let sim = bench::sim();
+    let mut telemetry = bench::Telemetry::new("fig16b");
     let sizes: &[u32] = &[8, 16, 32, 64];
     let presets = bench::representative_presets();
 
@@ -23,10 +24,10 @@ fn main() {
     for preset in &presets {
         let mut cells = vec![preset.spec.name.clone()];
         for (i, &kb) in sizes.iter().enumerate() {
-            let base = bench::run(&mut bench::tsl(kb), &preset.spec, &sim);
+            let base = telemetry.run(&mut bench::tsl(kb), &preset.spec, &sim);
             let mut cfg = LlbpxConfig::zero_latency();
             cfg.base.tsl = TslConfig::kilobytes(kb);
-            let r = bench::run(&mut bench::llbpx_with(cfg), &preset.spec, &sim);
+            let r = telemetry.run(&mut bench::llbpx_with(cfg), &preset.spec, &sim);
             ratios[i].push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }

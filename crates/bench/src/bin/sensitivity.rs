@@ -5,6 +5,7 @@ use llbpx::LlbpxConfig;
 
 fn main() {
     let sim = bench::sim();
+    let mut telemetry = bench::Telemetry::new("sensitivity");
     let presets = bench::representative_presets();
 
     // --- H_th sweep (must be TAGE history lengths) ---------------------
@@ -18,11 +19,11 @@ fn main() {
     );
     let mut h_ratios: Vec<Vec<f64>> = vec![Vec::new(); h_ths.len()];
     for preset in &presets {
-        let base = bench::run(&mut bench::tsl64(), &preset.spec, &sim);
+        let base = telemetry.run(&mut bench::tsl64(), &preset.spec, &sim);
         let mut cells = vec![preset.spec.name.clone()];
         for (i, &h) in h_ths.iter().enumerate() {
             let cfg = LlbpxConfig::paper_baseline().with_h_th(h);
-            let r = bench::run(&mut bench::llbpx_with(cfg), &preset.spec, &sim);
+            let r = telemetry.run(&mut bench::llbpx_with(cfg), &preset.spec, &sim);
             h_ratios[i].push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }
@@ -46,11 +47,11 @@ fn main() {
     );
     let mut c_ratios: Vec<Vec<f64>> = vec![Vec::new(); ctt_sizes.len()];
     for preset in &presets {
-        let base = bench::run(&mut bench::tsl64(), &preset.spec, &sim);
+        let base = telemetry.run(&mut bench::tsl64(), &preset.spec, &sim);
         let mut cells = vec![preset.spec.name.clone()];
         for (i, &entries) in ctt_sizes.iter().enumerate() {
             let cfg = LlbpxConfig::paper_baseline().with_ctt_entries(entries);
-            let r = bench::run(&mut bench::llbpx_with(cfg), &preset.spec, &sim);
+            let r = telemetry.run(&mut bench::llbpx_with(cfg), &preset.spec, &sim);
             c_ratios[i].push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }

@@ -7,6 +7,7 @@ use bpsim::report::{f3, mean, Table};
 
 fn main() {
     let sim = bench::sim();
+    let mut telemetry = bench::Telemetry::new("table1");
     let mut table = Table::new(
         "Table I — workloads with branch MPKI for 64K TSL",
         &["workload", "measured MPKI", "paper MPKI"],
@@ -14,7 +15,7 @@ fn main() {
     let mut measured = Vec::new();
     for preset in bench::presets() {
         let mut tsl = bench::tsl64();
-        let result = bench::run(&mut tsl, &preset.spec, &sim);
+        let result = telemetry.run(&mut tsl, &preset.spec, &sim);
         measured.push(result.mpki());
         table.row(&[preset.spec.name.clone(), f3(result.mpki()), f3(preset.paper_mpki)]);
     }

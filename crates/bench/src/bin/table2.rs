@@ -40,11 +40,18 @@ fn main() {
     model.row(&["override bubble (\u{a7}VII-C)".into(), "3 cycles".into()]);
     print!("{}", model.render());
 
+    let mut telemetry = bench::Telemetry::new("table2");
+    let mut storage = telemetry::Json::obj();
     let mut budgets = Table::new("Predictor storage budgets", &["design", "KiB"]);
     for design in [bench::tsl64(), bench::tsl(512), bench::llbp(), bench::llbpx()] {
         let bits = design.storage_bits();
         budgets.row(&[design.name(), format!("{:.0}", bits as f64 / 8.0 / 1024.0)]);
+        storage = storage.set(design.name(), bits);
     }
+    // This binary runs no simulations; its record carries the static
+    // storage budgets instead of runs.
+    telemetry.set_extra("storage_bits", storage);
+    telemetry.emit();
     print!("{}", budgets.render());
     println!("\npaper reference: Table II (\u{a7}VI)");
 }

@@ -10,11 +10,21 @@
 //!
 //! The paper's protocol is 100M + 200M; the defaults are sized for a
 //! single-core laptop while preserving every qualitative trend.
+//!
+//! Next to the text tables, every binary can also emit a machine-readable
+//! record of its runs (full counters, interval time-series, scope profile)
+//! through [`Telemetry`]: pass `--json <path>` or set `LLBPX_TELEMETRY=1`
+//! and one JSON line per invocation is appended to the sink (default
+//! `BENCH_<name>.json`).
 
+use std::path::PathBuf;
+
+use bpsim::analysis::ContextAnalysis;
 use bpsim::runner::{RunResult, Simulation};
-use bpsim::SimPredictor;
+use bpsim::{CoreParams, SimPredictor};
 use llbpx::{Llbp, LlbpConfig, LlbpxConfig};
 use tage::{TageScl, TslConfig};
+use telemetry::Json;
 use workloads::presets::Preset;
 use workloads::WorkloadSpec;
 
@@ -112,6 +122,116 @@ pub fn llbpx_opt_w(oracle: std::collections::HashMap<u64, bool>) -> Box<dyn SimP
 /// Runs one boxed design over a preset.
 pub fn run(design: &mut Box<dyn SimPredictor>, spec: &WorkloadSpec, sim: &Simulation) -> RunResult {
     sim.run(design.as_mut(), spec)
+}
+
+/// Machine-readable emission for one experiment binary.
+///
+/// Construct once at the top of `main`, route every simulation through
+/// [`Telemetry::run`] / [`Telemetry::analyze`], and on drop (or an explicit
+/// [`Telemetry::emit`]) the collected run records are appended as one JSON
+/// line to the resolved sink. With no `--json` argument and no
+/// `LLBPX_TELEMETRY` variable this is all free: nothing is recorded and
+/// nothing is written.
+pub struct Telemetry {
+    bench: &'static str,
+    sink: Option<PathBuf>,
+    runs: Vec<Json>,
+    extra: Vec<(String, Json)>,
+    emitted: bool,
+}
+
+impl Telemetry {
+    /// A recorder for the binary named `bench`, with the sink resolved from
+    /// `--json <path>` / `LLBPX_TELEMETRY`.
+    pub fn new(bench: &'static str) -> Self {
+        Telemetry {
+            bench,
+            sink: telemetry::record::sink_from_env(bench),
+            runs: Vec::new(),
+            extra: Vec::new(),
+            emitted: false,
+        }
+    }
+
+    /// Whether a sink is configured (records are only collected then).
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Runs one boxed design over a preset and records the run.
+    pub fn run(
+        &mut self,
+        design: &mut Box<dyn SimPredictor>,
+        spec: &WorkloadSpec,
+        sim: &Simulation,
+    ) -> RunResult {
+        let result = sim.run(design.as_mut(), spec);
+        self.record_run(&result, sim, Some(design.storage_bits()));
+        result
+    }
+
+    /// Runs the context analysis (Figs. 6-9) and records its underlying
+    /// simulation run.
+    pub fn analyze(&mut self, spec: &WorkloadSpec, w: usize, sim: &Simulation) -> ContextAnalysis {
+        let analysis = bpsim::analysis::analyze_contexts(spec, w, sim);
+        self.record_run(&analysis.run, sim, None);
+        analysis
+    }
+
+    /// Records an externally produced run (e.g. from [`run`] or
+    /// [`bpsim::runner::compare`]).
+    pub fn record_run(&mut self, result: &RunResult, sim: &Simulation, storage_bits: Option<u64>) {
+        if self.sink.is_none() {
+            return;
+        }
+        let mut rec = result.to_record(sim);
+        let core = CoreParams::paper_table2();
+        rec.extra.push((
+            "cpi".to_owned(),
+            Json::Num(core.cpi(result.instructions, result.mispredicts, 0)),
+        ));
+        if let Some(bits) = storage_bits {
+            rec.extra.push(("storage_bits".to_owned(), Json::from(bits)));
+        }
+        self.runs.push(rec.to_json());
+    }
+
+    /// Attaches a top-level field to this binary's record line (for data
+    /// that is not a simulation run, e.g. table 2's storage budgets).
+    pub fn set_extra(&mut self, key: &str, value: Json) {
+        self.extra.push((key.to_owned(), value));
+    }
+
+    /// Appends the collected records to the sink now (idempotent; also
+    /// invoked on drop).
+    pub fn emit(&mut self) {
+        if self.emitted {
+            return;
+        }
+        self.emitted = true;
+        let Some(sink) = &self.sink else { return };
+        let mut line = Json::obj()
+            .set("schema", telemetry::record::SCHEMA)
+            .set("bench", self.bench)
+            .set("runs", Json::Arr(self.runs.clone()));
+        for (k, v) in &self.extra {
+            line = line.set(k.as_str(), v.clone());
+        }
+        match telemetry::record::append_line(sink, &line) {
+            Ok(()) => eprintln!(
+                "telemetry: appended {} run record(s) to {}",
+                self.runs.len(),
+                sink.display()
+            ),
+            Err(e) => eprintln!("telemetry: failed to write {}: {e}", sink.display()),
+        }
+    }
+}
+
+impl Drop for Telemetry {
+    fn drop(&mut self) {
+        self.emit();
+    }
 }
 
 /// Prints the standard experiment footer: protocol and paper pointer.

@@ -179,6 +179,11 @@ impl Llbp {
         &self.stats
     }
 
+    /// Pattern-buffer occupancy in `[0, 1]` right now (a telemetry gauge).
+    pub fn pb_occupancy(&self) -> f64 {
+        self.pb.len() as f64 / self.pb.capacity() as f64
+    }
+
     /// Final depth decision observed per shallow context (feed this to
     /// [`new_x_with_oracle`](Self::new_x_with_oracle) for Opt-W).
     pub fn depth_decisions(&self) -> &HashMap<u64, bool> {
@@ -308,18 +313,21 @@ impl Llbp {
         let allowed = self.allowed_lengths(cur.deep).clone();
 
         // --- LLBP pattern match -----------------------------------------
-        let m: Option<PatternMatch> = if self.cfg.no_contextualization {
-            self.store.lookup(cur.cid).and_then(|set| set.find_longest(&tags, &allowed))
-        } else {
-            match self.pb.lookup(cur.cid, self.clock) {
-                PbLookup::Ready(i) => {
-                    let found = self.pb.entry(i).set.find_longest(&tags, &allowed);
-                    if found.is_some() {
-                        self.pb.entry_mut(i).used = true;
+        let m: Option<PatternMatch> = {
+            let _t = telemetry::scope("llbp::pattern_lookup");
+            if self.cfg.no_contextualization {
+                self.store.lookup(cur.cid).and_then(|set| set.find_longest(&tags, &allowed))
+            } else {
+                match self.pb.lookup(cur.cid, self.clock) {
+                    PbLookup::Ready(i) => {
+                        let found = self.pb.entry(i).set.find_longest(&tags, &allowed);
+                        if found.is_some() {
+                            self.pb.entry_mut(i).used = true;
+                        }
+                        found
                     }
-                    found
+                    PbLookup::Inflight | PbLookup::Miss => None,
                 }
-                PbLookup::Inflight | PbLookup::Miss => None,
             }
         };
 
@@ -526,6 +534,7 @@ impl Llbp {
     /// Issues a prefetch for `cid` if it is directory-resident and not
     /// already buffered.
     fn issue_prefetch(&mut self, cid: u64) {
+        let _t = telemetry::scope("llbp::prefetch");
         if self.pb.contains(cid) {
             self.pb.touch(cid);
             return;

@@ -112,6 +112,101 @@ impl LlbpStats {
         }
     }
 
+    /// The scalar counters as `(name, value)` pairs in declaration order,
+    /// for structured (JSON) emission. The histogram and analysis maps are
+    /// exported separately.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("cond_branches", self.cond_branches),
+            ("mispredicts", self.mispredicts),
+            ("llbp_provided", self.llbp_provided),
+            ("llbp_useful", self.llbp_useful),
+            ("llbp_harmful", self.llbp_harmful),
+            ("ps_reads", self.ps_reads),
+            ("ps_writes", self.ps_writes),
+            ("pb_accesses", self.pb_accesses),
+            ("cd_accesses", self.cd_accesses),
+            ("ctt_accesses", self.ctt_accesses),
+            ("prefetches_issued", self.prefetches_issued),
+            ("prefetch_on_time", self.prefetch_on_time),
+            ("prefetch_late", self.prefetch_late),
+            ("prefetch_unused", self.prefetch_unused),
+            ("demand_fetches", self.demand_fetches),
+            ("allocations", self.allocations),
+            ("alloc_dropped_range", self.alloc_dropped_range),
+            ("sets_created", self.sets_created),
+            ("depth_transitions", self.depth_transitions),
+        ]
+    }
+
+    /// Cross-counter invariants that hold for any cumulative counter state.
+    /// (A [`delta_since`](Self::delta_since) phase slice can legitimately
+    /// break the prefetch one: a prefetch issued in warmup may be classified
+    /// during measurement.) Returns every violated invariant as a
+    /// human-readable description; an empty vector means the state is
+    /// consistent.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut require = |ok: bool, desc: &str| {
+            if !ok {
+                violations.push(desc.to_string());
+            }
+        };
+        require(
+            self.mispredicts <= self.cond_branches,
+            "mispredicts <= cond_branches",
+        );
+        require(
+            self.llbp_provided <= self.cond_branches,
+            "llbp_provided <= cond_branches",
+        );
+        require(
+            self.llbp_useful + self.llbp_harmful <= self.llbp_provided,
+            "llbp_useful + llbp_harmful <= llbp_provided",
+        );
+        require(
+            self.prefetch_on_time + self.prefetch_late + self.prefetch_unused
+                <= self.prefetches_issued,
+            "prefetch_on_time + prefetch_late + prefetch_unused <= prefetches_issued",
+        );
+        require(
+            self.ps_reads == self.prefetches_issued + self.demand_fetches,
+            "ps_reads == prefetches_issued + demand_fetches",
+        );
+        require(
+            self.pb_accesses == self.cond_branches,
+            "pb_accesses == cond_branches",
+        );
+        require(
+            self.ctt_accesses <= self.cd_accesses,
+            "ctt_accesses <= cd_accesses",
+        );
+        let attempts: u64 = self.alloc_len_histogram.iter().sum();
+        require(
+            self.allocations + self.alloc_dropped_range <= attempts,
+            "allocations + alloc_dropped_range <= sum(alloc_len_histogram)",
+        );
+        violations
+    }
+
+    /// Asserts [`check_invariants`](Self::check_invariants) in debug builds;
+    /// a no-op in release builds so measurement runs pay nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds only) listing every violated invariant.
+    #[track_caller]
+    pub fn validate(&self) {
+        if cfg!(debug_assertions) {
+            let violations = self.check_invariants();
+            assert!(
+                violations.is_empty(),
+                "LlbpStats invariants violated: {}",
+                violations.join("; ")
+            );
+        }
+    }
+
     /// Bits moved between pattern store and buffer per instruction
     /// (288-bit transactions, Fig. 15a).
     pub fn transfer_bits_per_instruction(&self, instructions: u64) -> (f64, f64) {
@@ -244,6 +339,67 @@ mod tests {
         a.record_useful(9, key(0x30, 4, 8));
         let dup = a.duplication_by_len();
         assert_eq!(dup[4], (4, 2), "4 copies over 2 unique patterns at length idx 4");
+    }
+
+    #[test]
+    fn consistent_states_pass_invariant_checks() {
+        let mut stats = LlbpStats {
+            cond_branches: 100,
+            mispredicts: 10,
+            llbp_provided: 40,
+            llbp_useful: 5,
+            llbp_harmful: 2,
+            ps_reads: 12,
+            pb_accesses: 100,
+            cd_accesses: 20,
+            ctt_accesses: 20,
+            prefetches_issued: 8,
+            prefetch_on_time: 4,
+            prefetch_late: 2,
+            prefetch_unused: 1,
+            demand_fetches: 4,
+            allocations: 6,
+            alloc_dropped_range: 1,
+            ..LlbpStats::default()
+        };
+        stats.alloc_len_histogram[3] = 9;
+        assert_eq!(stats.check_invariants(), Vec::<String>::new());
+        stats.validate(); // must not panic
+        assert_eq!(LlbpStats::default().check_invariants(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn corrupted_counters_are_reported() {
+        // More useful+harmful outcomes than provided predictions, and a
+        // prefetch classified without being issued: both must be flagged.
+        let stats = LlbpStats {
+            cond_branches: 10,
+            pb_accesses: 10,
+            llbp_provided: 3,
+            llbp_useful: 3,
+            llbp_harmful: 1,
+            prefetch_on_time: 1,
+            ..LlbpStats::default()
+        };
+        let violations = stats.check_invariants();
+        assert!(
+            violations.iter().any(|v| v.contains("llbp_useful + llbp_harmful")),
+            "outcome invariant flagged: {violations:?}"
+        );
+        assert!(
+            violations.iter().any(|v| v.contains("prefetches_issued")),
+            "prefetch invariant flagged: {violations:?}"
+        );
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "validate only asserts in debug builds")]
+    fn validate_panics_on_violation_in_debug_builds() {
+        let stats = LlbpStats { mispredicts: 5, ..LlbpStats::default() };
+        let err = std::panic::catch_unwind(|| stats.validate())
+            .expect_err("a violated invariant must panic in debug builds");
+        let msg = err.downcast_ref::<String>().expect("panic carries a message");
+        assert!(msg.contains("mispredicts <= cond_branches"), "got: {msg}");
     }
 
     #[test]

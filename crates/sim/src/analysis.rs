@@ -5,7 +5,7 @@ use llbpx::{Llbp, LlbpConfig};
 use tage::{HISTORY_LENGTHS, NUM_TABLES};
 use workloads::WorkloadSpec;
 
-use crate::runner::Simulation;
+use crate::runner::{RunResult, Simulation};
 
 /// One context's row in the Fig. 6/7 data: distinct useful patterns and
 /// their average history length, sorted by useful-pattern count descending.
@@ -28,6 +28,9 @@ pub struct ContextAnalysis {
     pub duplication: [(u64, u64); NUM_TABLES],
     /// Dynamic useful predictions per history length.
     pub useful_by_len: [u64; NUM_TABLES],
+    /// The underlying simulation run (MPKI, counters, telemetry), so
+    /// analysis binaries can emit run records like everything else.
+    pub run: RunResult,
 }
 
 impl ContextAnalysis {
@@ -70,8 +73,8 @@ pub fn analyze_contexts(spec: &WorkloadSpec, w: usize, sim: &Simulation) -> Cont
     let cfg = LlbpConfig::with_infinite_patterns().with_w(w).with_analysis();
     let mut predictor = Llbp::new(cfg);
     let result = sim.run(&mut predictor, spec);
-    let stats = result.llbp.expect("LLBP run carries stats");
-    let analysis = stats.analysis.expect("analysis was enabled");
+    let stats = result.llbp.as_ref().expect("LLBP run carries stats");
+    let analysis = stats.analysis.clone().expect("analysis was enabled");
 
     let contexts = analysis
         .useful_patterns_per_context()
@@ -87,6 +90,7 @@ pub fn analyze_contexts(spec: &WorkloadSpec, w: usize, sim: &Simulation) -> Cont
         contexts,
         duplication: analysis.duplication_by_len(),
         useful_by_len: analysis.useful_by_len,
+        run: result,
     }
 }
 
@@ -168,6 +172,15 @@ mod tests {
         assert!(!shallow.contexts.is_empty());
         let change = useful_change_by_len(&shallow, &deep);
         assert!(change.iter().any(|c| c.is_some()), "sweep must be comparable");
+    }
+
+    #[test]
+    fn analysis_carries_its_underlying_run() {
+        let (spec, sim) = tiny();
+        let a = analyze_contexts(&spec, 8, &sim);
+        assert_eq!(a.run.workload, "tiny");
+        assert!(a.run.mpki() > 0.0);
+        assert!(a.run.llbp.is_some(), "the run keeps its second-level stats");
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub trait SimPredictor: DirectionPredictor {
     fn first_cycle_capable_last(&self) -> bool {
         false
     }
+
+    /// Pattern-buffer occupancy in `[0, 1]`, for predictors that have one
+    /// (a telemetry gauge sampled into the interval time-series).
+    fn pb_occupancy(&self) -> Option<f64> {
+        None
+    }
 }
 
 impl SimPredictor for TageScl {}
@@ -40,6 +46,10 @@ impl SimPredictor for Llbp {
     fn first_cycle_capable_last(&self) -> bool {
         self.provided_last()
     }
+
+    fn pb_occupancy(&self) -> Option<f64> {
+        Some(Llbp::pb_occupancy(self))
+    }
 }
 
 impl<P: SimPredictor + ?Sized> SimPredictor for Box<P> {
@@ -51,6 +61,9 @@ impl<P: SimPredictor + ?Sized> SimPredictor for Box<P> {
     }
     fn first_cycle_capable_last(&self) -> bool {
         (**self).first_cycle_capable_last()
+    }
+    fn pb_occupancy(&self) -> Option<f64> {
+        (**self).pb_occupancy()
     }
 }
 

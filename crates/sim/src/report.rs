@@ -29,7 +29,15 @@ impl Table {
     ///
     /// Panics if the arity differs from the header.
     pub fn row(&mut self, cells: &[String]) -> &mut Self {
-        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row arity mismatch in table {:?}: header has {} columns, row has {} cells: {:?}",
+            self.title,
+            self.header.len(),
+            cells.len(),
+            cells
+        );
         self.rows.push(cells.to_vec());
         self
     }
@@ -137,7 +145,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "row arity mismatch")]
+    #[should_panic(expected = "row arity mismatch in table \"demo\": header has 2 columns, row has 1 cells")]
     fn mismatched_rows_are_rejected() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.row(&["only one".into()]);

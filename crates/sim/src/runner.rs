@@ -1,14 +1,18 @@
-//! The simulation driver: warmup, measurement, result collection.
+//! The simulation driver: warmup, measurement, result collection and
+//! telemetry (wall clock, interval time-series, scope profile).
+
+use std::time::Instant;
 
 use llbpx::LlbpStats;
 use tage::bimodal::Bimodal;
+use telemetry::{IntervalRecorder, IntervalSample, IntervalSnapshot, RunRecord, ScopeTotals};
 use traces::BranchStream;
 use workloads::{ServerWorkload, WorkloadSpec};
 
 use crate::predictor::SimPredictor;
 
 /// Result of one predictor × workload run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct RunResult {
     /// Predictor label.
     pub name: String,
@@ -27,6 +31,13 @@ pub struct RunResult {
     /// Second-level statistics (hierarchical predictors only), snapshot
     /// after [`SimPredictor::finish`].
     pub llbp: Option<LlbpStats>,
+    /// Wall-clock seconds of the whole run (warmup + measurement).
+    pub wall_seconds: f64,
+    /// Interval time-series over the measurement phase (width from
+    /// `LLBPX_INTERVAL` or an eighth of the budget).
+    pub intervals: Vec<IntervalSample>,
+    /// Scope profile accumulated during the run (warmup + measurement).
+    pub profile: Vec<ScopeTotals>,
 }
 
 impl RunResult {
@@ -45,6 +56,32 @@ impl RunResult {
             0.0
         } else {
             1.0 - self.mpki() / base.mpki()
+        }
+    }
+
+    /// The run as a structured telemetry record; `sim` supplies the
+    /// requested protocol (warmup/measurement budgets).
+    pub fn to_record(&self, sim: &Simulation) -> RunRecord {
+        RunRecord {
+            predictor: self.name.clone(),
+            workload: self.workload.clone(),
+            warmup_instructions: sim.warmup_instructions,
+            measure_instructions: sim.measure_instructions,
+            instructions: self.instructions,
+            cond_branches: self.cond_branches,
+            mispredicts: self.mispredicts,
+            mpki: self.mpki(),
+            override_candidates: self.override_candidates,
+            wall_seconds: self.wall_seconds,
+            counters: self.llbp.as_ref().map(LlbpStats::counters).unwrap_or_default(),
+            alloc_len_histogram: self
+                .llbp
+                .as_ref()
+                .map(|l| l.alloc_len_histogram.to_vec())
+                .unwrap_or_default(),
+            intervals: self.intervals.clone(),
+            profile: self.profile.clone(),
+            extra: Vec::new(),
         }
     }
 }
@@ -96,6 +133,9 @@ impl Simulation {
         P: SimPredictor + ?Sized,
         S: BranchStream + ?Sized,
     {
+        let started = Instant::now();
+        let profile_before = telemetry::profile::snapshot();
+
         // Warmup.
         let mut elapsed = 0u64;
         while elapsed < self.warmup_instructions {
@@ -109,14 +149,13 @@ impl Simulation {
 
         // Measurement, with the bimodal shadow for the overriding model.
         let mut shadow = Bimodal::new(13);
+        let mut recorder = IntervalRecorder::new(telemetry::record::interval_width(
+            self.measure_instructions,
+        ));
         let mut result = RunResult {
             name: predictor.name(),
             workload: workload.to_owned(),
-            instructions: 0,
-            cond_branches: 0,
-            mispredicts: 0,
-            override_candidates: 0,
-            llbp: None,
+            ..RunResult::default()
         };
         while result.instructions < self.measure_instructions {
             let Some(rec) = stream.next_branch() else { break };
@@ -133,14 +172,49 @@ impl Simulation {
                 }
                 shadow.update(rec.pc, rec.taken);
             }
+            recorder.observe(snapshot_counters(&result, predictor, warm_stats.as_ref()));
         }
         predictor.finish();
+        // Invariants are cumulative-state properties; check them before the
+        // warmup delta is taken (a no-op in release builds).
+        if let Some(end) = predictor.llbp_stats() {
+            end.validate();
+        }
+        result.intervals =
+            recorder.finish(snapshot_counters(&result, predictor, warm_stats.as_ref()));
         result.llbp = predictor.llbp_stats().map(|end| match &warm_stats {
             Some(start) => end.delta_since(start),
             None => end.clone(),
         });
+        result.profile = telemetry::profile::since(&profile_before);
+        result.wall_seconds = started.elapsed().as_secs_f64();
         result
     }
+}
+
+/// Cumulative measurement-phase counters at this moment, as an interval
+/// observation. Second-level counters are rebased to the warmup snapshot so
+/// the time-series is measurement-relative like everything else.
+fn snapshot_counters<P: SimPredictor + ?Sized>(
+    result: &RunResult,
+    predictor: &P,
+    warm: Option<&LlbpStats>,
+) -> IntervalSnapshot {
+    let mut snap = IntervalSnapshot {
+        instructions: result.instructions,
+        cond_branches: result.cond_branches,
+        mispredicts: result.mispredicts,
+        ..IntervalSnapshot::default()
+    };
+    if let Some(stats) = predictor.llbp_stats() {
+        let base = |pick: fn(&LlbpStats) -> u64| warm.map_or(0, pick);
+        snap.prefetches_issued = stats.prefetches_issued - base(|s| s.prefetches_issued);
+        snap.prefetch_on_time = stats.prefetch_on_time - base(|s| s.prefetch_on_time);
+        snap.prefetch_late = stats.prefetch_late - base(|s| s.prefetch_late);
+        snap.allocations = stats.allocations - base(|s| s.allocations);
+    }
+    snap.pb_occupancy = predictor.pb_occupancy();
+    snap
 }
 
 /// Convenience: one warmed-up run of each provided predictor over the same
@@ -202,8 +276,7 @@ mod tests {
             instructions: 1000,
             cond_branches: 100,
             mispredicts: 10,
-            override_candidates: 0,
-            llbp: None,
+            ..RunResult::default()
         };
         let better = RunResult { mispredicts: 8, ..base.clone() };
         let worse = RunResult { mispredicts: 12, ..base.clone() };
@@ -221,6 +294,41 @@ mod tests {
         let r = sim.run_stream(&mut TageScl::new(TslConfig::kilobytes(64)), &mut trace, "t");
         assert_eq!(r.cond_branches, 2);
         assert_eq!(r.instructions, 10);
+    }
+
+    #[test]
+    fn runs_collect_telemetry_sections() {
+        let sim = tiny_sim();
+        let r = sim.run(&mut Llbp::new(LlbpConfig::paper_baseline()), &tiny_spec());
+        assert!(r.wall_seconds > 0.0);
+        assert!(r.intervals.len() >= 2, "default width is an eighth of the budget");
+        let total_interval_mispredicts: u64 = r.intervals.iter().map(|s| s.mispredicts).sum();
+        assert_eq!(total_interval_mispredicts, r.mispredicts, "intervals partition the run");
+        assert!(
+            r.intervals.iter().all(|s| s.pb_occupancy.is_some()),
+            "LLBP runs carry the occupancy gauge"
+        );
+        let named: Vec<&str> = r.profile.iter().map(|s| s.name).collect();
+        for scope in ["tage::predict", "tage::update", "llbp::pattern_lookup"] {
+            assert!(named.contains(&scope), "{scope} missing from {named:?}");
+        }
+        assert!(r.profile.iter().all(|s| s.calls > 0 && s.nanos > 0));
+    }
+
+    #[test]
+    fn to_record_captures_protocol_and_counters() {
+        let sim = tiny_sim();
+        let r = sim.run(&mut Llbp::new(LlbpConfig::paper_baseline()), &tiny_spec());
+        let record = r.to_record(&sim);
+        assert_eq!(record.warmup_instructions, sim.warmup_instructions);
+        assert_eq!(record.measure_instructions, sim.measure_instructions);
+        assert!(!record.counters.is_empty());
+        let json = record.to_json();
+        assert_eq!(
+            json.get("counters").and_then(|c| c.get("cond_branches")).and_then(|v| v.as_i64()),
+            Some(r.llbp.as_ref().unwrap().cond_branches as i64)
+        );
+        assert!((json.get("mpki").unwrap().as_f64().unwrap() - r.mpki()).abs() < 1e-12);
     }
 
     #[test]

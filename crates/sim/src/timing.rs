@@ -120,7 +120,7 @@ mod tests {
             cond_branches: instructions / 5,
             mispredicts,
             override_candidates: overrides,
-            llbp: None,
+            ..RunResult::default()
         }
     }
 

@@ -124,6 +124,7 @@ impl Tage {
 
     /// Computes the full prediction breakdown for `pc`.
     pub fn predict(&self, pc: u64) -> TageInfo {
+        let _t = telemetry::scope("tage::predict");
         let mut indices = [0u64; NUM_TABLES];
         let mut tags = [0u32; NUM_TABLES];
         for t in 0..NUM_TABLES {
@@ -195,6 +196,7 @@ impl Tage {
     /// [`predict`](Self::predict) for the same branch under the same history
     /// (i.e. before [`update_history`](Self::update_history)).
     pub fn update(&mut self, pc: u64, taken: bool, info: &TageInfo) {
+        let _t = telemetry::scope("tage::update");
         // use_alt_on_na bookkeeping: when a weak provider and its alternate
         // disagree, learn which side to trust.
         if let Some(t) = info.provider {

@@ -1,0 +1,30 @@
+//! Observability layer for the LLBP-X reproduction.
+//!
+//! Everything the rest of the workspace needs to *measure itself*, with no
+//! external dependencies so the whole stack builds offline:
+//!
+//! * [`json`] — a small JSON value type, serializer and parser used for the
+//!   machine-readable run records (`BENCH_*.json`);
+//! * [`record`] — the [`RunRecord`] schema one simulation run emits, plus
+//!   the `--json` / `LLBPX_TELEMETRY` sink resolution shared by every
+//!   experiment binary;
+//! * [`interval`] — per-interval time-series sampling (MPKI, pattern-buffer
+//!   occupancy, prefetch timeliness, allocation rate) for phase-behavior
+//!   views of a run;
+//! * [`profile`] — lightweight RAII scope timers with a thread-local
+//!   registry, instrumenting the simulator's hot paths;
+//! * [`prng`] — deterministic SplitMix64 / xoshiro256** generators used by
+//!   the randomized tests across the workspace (in place of the former
+//!   crates-io `rand` dependency).
+
+pub mod interval;
+pub mod json;
+pub mod profile;
+pub mod prng;
+pub mod record;
+
+pub use interval::{IntervalRecorder, IntervalSample, IntervalSnapshot};
+pub use json::Json;
+pub use profile::{scope, ScopeTotals};
+pub use prng::{SplitMix64, Xoshiro256StarStar};
+pub use record::RunRecord;

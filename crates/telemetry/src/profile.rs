@@ -1,0 +1,146 @@
+//! Lightweight scope profiling: RAII timers feeding a thread-local registry.
+//!
+//! The simulator's hot paths (`Tage::predict`/`update`, LLBP's pattern-set
+//! lookup and prefetch, the workload generator) open a [`scope`] guard;
+//! dropping the guard adds the elapsed wall time to that scope's running
+//! totals. The runner snapshots the registry around each run and reports
+//! the delta as the run's profile section, so optimisation work in later
+//! PRs has a per-run baseline to beat.
+//!
+//! The registry is thread-local: a simulation run reads exactly the scopes
+//! its own thread executed, and parallel test threads never contend or mix
+//! their numbers.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// Accumulated totals for one named scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopeTotals {
+    /// Scope name (e.g. `"tage::predict"`).
+    pub name: &'static str,
+    /// Times the scope was entered.
+    pub calls: u64,
+    /// Total nanoseconds spent inside the scope (including callees).
+    pub nanos: u64,
+}
+
+thread_local! {
+    static REGISTRY: RefCell<Vec<ScopeTotals>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An RAII guard timing one scope entry; created by [`scope`].
+#[must_use = "the scope is timed until this guard is dropped"]
+pub struct ScopeGuard {
+    name: &'static str,
+    start: Instant,
+}
+
+/// Starts timing `name` until the returned guard drops.
+#[inline]
+pub fn scope(name: &'static str) -> ScopeGuard {
+    ScopeGuard { name, start: Instant::now() }
+}
+
+impl Drop for ScopeGuard {
+    #[inline]
+    fn drop(&mut self) {
+        let nanos = self.start.elapsed().as_nanos() as u64;
+        REGISTRY.with(|r| {
+            let mut totals = r.borrow_mut();
+            // Linear scan: the registry holds a handful of static names and
+            // the hot entry is found in the first few slots.
+            match totals.iter_mut().find(|t| std::ptr::eq(t.name, self.name) || t.name == self.name)
+            {
+                Some(t) => {
+                    t.calls += 1;
+                    t.nanos += nanos;
+                }
+                None => totals.push(ScopeTotals { name: self.name, calls: 1, nanos }),
+            }
+        });
+    }
+}
+
+/// Current totals for every scope this thread has entered, sorted by name.
+pub fn snapshot() -> Vec<ScopeTotals> {
+    REGISTRY.with(|r| {
+        let mut v = r.borrow().clone();
+        v.sort_by(|a, b| a.name.cmp(b.name));
+        v
+    })
+}
+
+/// Totals accumulated since `before` (a prior [`snapshot`]), dropping
+/// scopes with no new activity.
+pub fn since(before: &[ScopeTotals]) -> Vec<ScopeTotals> {
+    snapshot()
+        .into_iter()
+        .filter_map(|now| {
+            let prior = before.iter().find(|b| b.name == now.name);
+            let calls = now.calls - prior.map_or(0, |b| b.calls);
+            let nanos = now.nanos - prior.map_or(0, |b| b.nanos);
+            (calls > 0).then_some(ScopeTotals { name: now.name, calls, nanos })
+        })
+        .collect()
+}
+
+/// Clears this thread's registry (tests).
+pub fn reset() {
+    REGISTRY.with(|r| r.borrow_mut().clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guards_accumulate_calls_and_time() {
+        reset();
+        for _ in 0..10 {
+            let _g = scope("test::a");
+            std::hint::black_box(());
+        }
+        {
+            let _g = scope("test::b");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = snapshot();
+        let a = snap.iter().find(|t| t.name == "test::a").expect("scope a recorded");
+        let b = snap.iter().find(|t| t.name == "test::b").expect("scope b recorded");
+        assert_eq!(a.calls, 10);
+        assert_eq!(b.calls, 1);
+        assert!(b.nanos >= 1_000_000, "2ms sleep timed as {}ns", b.nanos);
+    }
+
+    #[test]
+    fn since_reports_only_new_activity() {
+        reset();
+        {
+            let _g = scope("test::warm");
+        }
+        let before = snapshot();
+        {
+            let _g = scope("test::hot");
+        }
+        {
+            let _g = scope("test::hot");
+        }
+        let delta = since(&before);
+        assert_eq!(delta.len(), 1, "only the active scope appears: {delta:?}");
+        assert_eq!(delta[0].name, "test::hot");
+        assert_eq!(delta[0].calls, 2);
+    }
+
+    #[test]
+    fn nested_scopes_time_independently() {
+        reset();
+        {
+            let _outer = scope("test::outer");
+            let _inner = scope("test::inner");
+        }
+        let snap = snapshot();
+        assert!(snap.iter().any(|t| t.name == "test::outer"));
+        assert!(snap.iter().any(|t| t.name == "test::inner"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Criterion microbenchmarks: prediction throughput of the simulated
+//! designs, and the cost of the workload generator itself.
+//!
+//! These complement the `fig*` experiment binaries (which regenerate the
+//! paper's tables/figures): here we measure the *simulator's* speed, which
+//! bounds how much evaluation a given time budget buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bpsim::SimPredictor;
+use traces::{BranchRecord, BranchStream, StreamExt};
+use workloads::ServerWorkload;
+
+const BATCH: u64 = 50_000;
+
+fn trace_batch() -> Vec<BranchRecord> {
+    let spec = workloads::presets::by_name("NodeApp").expect("preset exists");
+    ServerWorkload::new(&spec).take_branches(BATCH).iter().collect()
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let records = trace_batch();
+    let mut group = c.benchmark_group("process_branches");
+    group.throughput(Throughput::Elements(BATCH));
+    group.sample_size(10);
+
+    type DesignList = Vec<(&'static str, fn() -> Box<dyn SimPredictor>)>;
+    let designs: DesignList = vec![
+        ("tsl64", bench::tsl64 as fn() -> Box<dyn SimPredictor>),
+        ("tsl512", || bench::tsl(512)),
+        ("llbp", bench::llbp),
+        ("llbpx", bench::llbpx),
+    ];
+    for (name, make) in designs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &records, |b, records| {
+            b.iter_batched(
+                make,
+                |mut p| {
+                    for rec in records {
+                        black_box(p.process(rec));
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let spec = workloads::presets::by_name("NodeApp").expect("preset exists");
+    let mut group = c.benchmark_group("workload_generation");
+    group.throughput(Throughput::Elements(BATCH));
+    group.sample_size(10);
+    group.bench_function("nodeapp_stream", |b| {
+        b.iter(|| {
+            let mut stream = ServerWorkload::new(&spec).take_branches(BATCH);
+            let mut count = 0u64;
+            while let Some(rec) = stream.next_branch() {
+                count += rec.instructions();
+            }
+            black_box(count)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors, bench_workload_generation);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Placeholder library target; the value of this package is its `tests/`
+//! (proptest suites) and `benches/` (criterion), which need registry access.

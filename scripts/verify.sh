@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline: release build, the whole test suite,
+# and one smoke experiment emitting a machine-readable run record.
+#
+# Usage: scripts/verify.sh
+# Exits nonzero on the first failure.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release --offline
+
+echo "== tier-1: test suite =="
+cargo test -q --offline
+
+echo "== smoke: fig01 --json =="
+sink="$(mktemp -t llbpx-verify-XXXXXX.json)"
+trap 'rm -f "$sink"' EXIT
+REPRO_WORKLOADS=NodeApp REPRO_WARMUP=100000 REPRO_INSTRUCTIONS=400000 \
+    ./target/release/fig01 --json "$sink"
+
+# The record must be one well-formed JSON line with runs, intervals, and a
+# nonzero scope profile (the same contract tests/telemetry.rs enforces).
+python3 - "$sink" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    lines = [l for l in f.read().splitlines() if l.strip()]
+assert len(lines) == 1, f"expected one record line, got {len(lines)}"
+rec = json.loads(lines[0])
+assert rec["schema"] == "llbpx-telemetry/1", rec["schema"]
+assert rec["bench"] == "fig01"
+assert len(rec["runs"]) >= 1
+for run in rec["runs"]:
+    assert len(run["intervals"]) >= 2, "too few interval samples"
+    timed = [s for s in run["profile"] if s["nanos"] > 0 and s["calls"] > 0]
+    assert len(timed) >= 3, f"too few timed scopes: {run['profile']}"
+print(f"ok: {len(rec['runs'])} run record(s), "
+      f"{len(rec['runs'][0]['intervals'])} intervals, "
+      f"{len(rec['runs'][0]['profile'])} scopes")
+EOF
+
+echo "== verify: all green =="
