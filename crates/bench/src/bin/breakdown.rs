@@ -11,16 +11,25 @@ fn main() {
         "\u{a7}VII-E — optimization breakdown (MPKI reduction over LLBP)",
         &["workload", "depth adaptation only", "full LLBP-X"],
     );
+    let presets = bench::presets();
+    let mut jobs = Vec::new();
+    for preset in &presets {
+        jobs.push(bench::job(bench::llbp, &preset.spec));
+        jobs.push(bench::job(
+            || bench::llbpx_with(LlbpxConfig::paper_baseline().without_history_range_selection()),
+            &preset.spec,
+        ));
+        jobs.push(bench::job(bench::llbpx, &preset.spec));
+    }
+    let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
+
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); 2];
-    for preset in bench::presets() {
-        let base = telemetry.run(&mut bench::llbp(), &preset.spec, &sim);
-        let depth_only = LlbpxConfig::paper_baseline().without_history_range_selection();
+    for preset in &presets {
+        let base = results.next().expect("one result per job");
         let mut cells = vec![preset.spec.name.clone()];
-        for (i, mut design) in
-            [bench::llbpx_with(depth_only), bench::llbpx()].into_iter().enumerate()
-        {
-            let r = telemetry.run(&mut design, &preset.spec, &sim);
-            ratios[i].push(r.mpki() / base.mpki());
+        for ratio_col in &mut ratios {
+            let r = results.next().expect("one result per job");
+            ratio_col.push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }
         table.row(&cells);

@@ -23,15 +23,32 @@ fn main() {
 
     // The paper plots three workloads; default to a web/db/java mix.
     let wanted = ["NodeApp", "TPCC", "Wikipedia"];
-    for preset in bench::presets() {
-        if std::env::var("REPRO_WORKLOADS").is_err()
-            && !wanted.contains(&preset.spec.name.as_str())
-        {
-            continue;
+    let presets: Vec<_> = bench::presets()
+        .into_iter()
+        .filter(|p| {
+            std::env::var("REPRO_WORKLOADS").is_ok() || wanted.contains(&p.spec.name.as_str())
+        })
+        .collect();
+
+    // Skylake-class predictor: 64K TSL. SPR-class: larger (128K).
+    let mut jobs = Vec::new();
+    for preset in &presets {
+        jobs.push(bench::job(bench::tsl64, &preset.spec));
+        jobs.push(bench::job(|| bench::tsl(128), &preset.spec));
+    }
+    let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
+
+    // A zero-MPKI baseline has no meaningful relative change.
+    let rel = |new: f64, base: f64| {
+        if base == 0.0 {
+            "n/a".to_string()
+        } else {
+            pct(new / base - 1.0)
         }
-        // Skylake-class predictor: 64K TSL. SPR-class: larger (128K).
-        let skl = telemetry.run(&mut bench::tsl64(), &preset.spec, &sim);
-        let spr = telemetry.run(&mut bench::tsl(128), &preset.spec, &sim);
+    };
+    for preset in &presets {
+        let skl = results.next().expect("one result per job");
+        let spr = results.next().expect("one result per job");
 
         let skl_frac = sky_core.branch_stall_fraction(skl.instructions, skl.mispredicts);
         let spr_frac = spr_core.branch_stall_fraction(spr.instructions, spr.mispredicts);
@@ -39,10 +56,10 @@ fn main() {
             preset.spec.name.clone(),
             f3(skl.mpki()),
             f3(spr.mpki()),
-            pct(spr.mpki() / skl.mpki() - 1.0),
+            rel(spr.mpki(), skl.mpki()),
             pct(skl_frac),
             pct(spr_frac),
-            pct(spr_frac / skl_frac - 1.0),
+            rel(spr_frac, skl_frac),
         ]);
     }
     print!("{}", table.render());

@@ -10,18 +10,25 @@ fn main() {
         "Fig. 4 — MPKI normalized to 64K TSL (lower is better)",
         &["workload", "64K MPKI", "LLBP", "LLBP-0Lat", "512K TSL", "Inf TSL"],
     );
+    let presets = bench::presets();
+    let mut jobs = Vec::new();
+    for preset in &presets {
+        jobs.push(bench::job(bench::tsl64, &preset.spec));
+        jobs.push(bench::job(bench::llbp, &preset.spec));
+        jobs.push(bench::job(bench::llbp_0lat, &preset.spec));
+        jobs.push(bench::job(|| bench::tsl(512), &preset.spec));
+        jobs.push(bench::job(bench::tsl_inf, &preset.spec));
+    }
+    let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
+
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for preset in bench::presets() {
-        let base = telemetry.run(&mut bench::tsl64(), &preset.spec, &sim);
+    for preset in &presets {
+        let base = results.next().expect("one result per job");
         let mut cells = vec![preset.spec.name.clone(), f3(base.mpki())];
-        for (i, mut design) in
-            [bench::llbp(), bench::llbp_0lat(), bench::tsl(512), bench::tsl_inf()]
-                .into_iter()
-                .enumerate()
-        {
-            let r = telemetry.run(&mut design, &preset.spec, &sim);
+        for ratio_col in &mut ratios {
+            let r = results.next().expect("one result per job");
             let ratio = r.mpki() / base.mpki();
-            ratios[i].push(ratio);
+            ratio_col.push(ratio);
             cells.push(f3(ratio));
         }
         table.row(&cells);

@@ -32,14 +32,24 @@ fn main() {
     );
 
     let presets = bench::representative_presets();
+    let mut jobs = Vec::new();
+    for preset in &presets {
+        jobs.push(bench::job(bench::llbp_0lat, &preset.spec));
+        for (_, cfg) in &steps {
+            let cfg = *cfg;
+            jobs.push(bench::job(move || bench::llbp_with(cfg()), &preset.spec));
+        }
+    }
+    let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
+
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); steps.len()];
     for preset in &presets {
-        let base = telemetry.run(&mut bench::llbp_0lat(), &preset.spec, &sim);
+        let base = results.next().expect("one result per job");
         let mut cells = vec![preset.spec.name.clone(), f3(base.mpki())];
-        for (i, (_, cfg)) in steps.iter().enumerate() {
-            let r = telemetry.run(&mut bench::llbp_with(cfg()), &preset.spec, &sim);
+        for ratio_col in &mut ratios {
+            let r = results.next().expect("one result per job");
             let ratio = r.mpki() / base.mpki();
-            ratios[i].push(ratio);
+            ratio_col.push(ratio);
             cells.push(f3(ratio));
         }
         table.row(&cells);

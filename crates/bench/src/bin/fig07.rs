@@ -14,7 +14,9 @@ fn main() {
         .into_iter()
         .find(|p| p.spec.name == "NodeApp")
         .unwrap_or_else(|| bench::presets().remove(0));
-    let analysis = telemetry.analyze(&preset.spec, 8, &sim);
+    let analysis = bench::run_analyses(&mut telemetry, &sim, vec![(preset.spec.clone(), 8)])
+        .pop()
+        .expect("one analysis per job");
 
     let mut table = Table::new(
         format!("Fig. 7 — avg history length per context, {} (Fig. 6 order)", preset.spec.name),

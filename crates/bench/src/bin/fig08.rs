@@ -18,8 +18,11 @@ fn main() {
         .unwrap_or_else(|| bench::presets().remove(0));
 
     let depths = [2usize, 8, 64];
-    let analyses: Vec<_> =
-        depths.iter().map(|&w| telemetry.analyze(&preset.spec, w, &sim)).collect();
+    let analyses = bench::run_analyses(
+        &mut telemetry,
+        &sim,
+        depths.iter().map(|&w| (preset.spec.clone(), w)).collect(),
+    );
 
     let mut table = Table::new(
         format!("Fig. 8 — duplicates per unique useful pattern, {}", preset.spec.name),

@@ -17,9 +17,15 @@ fn main() {
         .find(|p| p.spec.name == "NodeApp")
         .unwrap_or_else(|| bench::presets().remove(0));
 
-    let base = telemetry.analyze(&preset.spec, 8, &sim);
-    let shallow = telemetry.analyze(&preset.spec, 2, &sim);
-    let deep = telemetry.analyze(&preset.spec, 64, &sim);
+    let mut analyses = bench::run_analyses(
+        &mut telemetry,
+        &sim,
+        vec![(preset.spec.clone(), 8), (preset.spec.clone(), 2), (preset.spec.clone(), 64)],
+    )
+    .into_iter();
+    let base = analyses.next().expect("one analysis per job");
+    let shallow = analyses.next().expect("one analysis per job");
+    let deep = analyses.next().expect("one analysis per job");
     let d_shallow = useful_change_by_len(&base, &shallow);
     let d_deep = useful_change_by_len(&base, &deep);
 

@@ -10,21 +10,30 @@ fn main() {
         "Fig. 12 — branch misprediction reduction over 64K TSL",
         &["workload", "64K MPKI", "LLBP", "LLBP-X", "LLBP-X Opt-W", "512K TSL"],
     );
-    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for preset in bench::presets() {
-        let base = telemetry.run(&mut bench::tsl64(), &preset.spec, &sim);
-        let mut cells = vec![preset.spec.name.clone(), f3(base.mpki())];
+    let presets = bench::presets();
+    let mut jobs = Vec::new();
+    for preset in &presets {
+        jobs.push(bench::job(bench::tsl64, &preset.spec));
+        jobs.push(bench::job(bench::llbp, &preset.spec));
+        jobs.push(bench::job(bench::llbpx, &preset.spec));
+        // The Opt-W oracle trains on a converged LLBP-X run; that training
+        // run executes on the worker that claims this job.
+        let (spec, train_sim) = (preset.spec.clone(), sim);
+        jobs.push(bench::job(
+            move || bench::llbpx_opt_w(bench::opt_w_oracle(&spec, &train_sim)),
+            &preset.spec,
+        ));
+        jobs.push(bench::job(|| bench::tsl(512), &preset.spec));
+    }
+    let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
 
-        let oracle = bench::opt_w_oracle(&preset.spec, &sim);
-        let designs: Vec<Box<dyn bpsim::SimPredictor>> = vec![
-            bench::llbp(),
-            bench::llbpx(),
-            bench::llbpx_opt_w(oracle),
-            bench::tsl(512),
-        ];
-        for (i, mut design) in designs.into_iter().enumerate() {
-            let r = telemetry.run(&mut design, &preset.spec, &sim);
-            ratios[i].push(r.mpki() / base.mpki());
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for preset in &presets {
+        let base = results.next().expect("one result per job");
+        let mut cells = vec![preset.spec.name.clone(), f3(base.mpki())];
+        for ratio_col in &mut ratios {
+            let r = results.next().expect("one result per job");
+            ratio_col.push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }
         table.row(&cells);

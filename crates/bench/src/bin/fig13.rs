@@ -16,20 +16,28 @@ fn main() {
         "Fig. 13 — speedup over 64K TSL (8-wide OoO model)",
         &["workload", "LLBP", "LLBP-X", "512K TSL (ideal)"],
     );
+    let presets: Vec<_> = bench::presets()
+        .into_iter()
+        // Google traces: trace-only, as in the paper.
+        .filter(|p| p.in_gem5_eval || std::env::var("REPRO_WORKLOADS").is_ok())
+        .collect();
+    let mut jobs = Vec::new();
+    for preset in &presets {
+        jobs.push(bench::job(bench::tsl64, &preset.spec));
+        jobs.push(bench::job(bench::llbp, &preset.spec));
+        jobs.push(bench::job(bench::llbpx, &preset.spec));
+        jobs.push(bench::job(|| bench::tsl(512), &preset.spec));
+    }
+    let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
+
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for preset in bench::presets() {
-        if !preset.in_gem5_eval && std::env::var("REPRO_WORKLOADS").is_err() {
-            continue; // Google traces: trace-only, as in the paper.
-        }
-        let base = telemetry.run(&mut bench::tsl64(), &preset.spec, &sim);
+    for preset in &presets {
+        let base = results.next().expect("one result per job");
         let mut cells = vec![preset.spec.name.clone()];
-        for (i, mut design) in [bench::llbp(), bench::llbpx(), bench::tsl(512)]
-            .into_iter()
-            .enumerate()
-        {
-            let r = telemetry.run(&mut design, &preset.spec, &sim);
+        for speedup_col in &mut speedups {
+            let r = results.next().expect("one result per job");
             let s = core.speedup(&base, &r);
-            speedups[i].push(s);
+            speedup_col.push(s);
             cells.push(f3(s));
         }
         table.row(&cells);

@@ -7,6 +7,7 @@
 //! mispredictions resteer — the closest this reproduction gets to the
 //! paper's gem5 runs.
 
+use bpsim::exec;
 use bpsim::report::{f3, geomean, Table};
 use pipeline::{PipelineModel, PipelineParams};
 use traces::BranchStream;
@@ -42,20 +43,31 @@ fn main() {
         "Fig. 13 (execution-driven) — speedup over 64K TSL, pipeline model",
         &["workload", "64K IPC", "LLBP", "LLBP-X", "512K TSL (ideal)"],
     );
-    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for preset in bench::presets() {
-        if !preset.in_gem5_eval && std::env::var("REPRO_WORKLOADS").is_err() {
-            continue;
+    let presets: Vec<_> = bench::presets()
+        .into_iter()
+        .filter(|p| p.in_gem5_eval || std::env::var("REPRO_WORKLOADS").is_ok())
+        .collect();
+    // The pipeline model sits outside the runner, so fan out over the raw
+    // job API rather than the run matrix.
+    let factories: [fn() -> Box<dyn bpsim::SimPredictor>; 4] =
+        [bench::tsl64, bench::llbp, bench::llbpx, || bench::tsl(512)];
+    let mut jobs: Vec<exec::BoxedJob<'static, pipeline::PipelineResult>> = Vec::new();
+    for preset in &presets {
+        for factory in factories {
+            let spec = preset.spec.clone();
+            jobs.push(Box::new(move || run(&mut factory(), &spec)));
         }
-        let base = run(&mut bench::tsl64(), &preset.spec);
+    }
+    let mut results = exec::run_jobs(jobs).into_iter();
+
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for preset in &presets {
+        let base = results.next().expect("one result per job");
         let mut cells = vec![preset.spec.name.clone(), f3(base.ipc())];
-        for (i, mut design) in [bench::llbp(), bench::llbpx(), bench::tsl(512)]
-            .into_iter()
-            .enumerate()
-        {
-            let r = run(&mut design, &preset.spec);
+        for speedup_col in &mut speedups {
+            let r = results.next().expect("one result per job");
             let s = r.speedup_over(&base);
-            speedups[i].push(s);
+            speedup_col.push(s);
             cells.push(f3(s));
         }
         table.row(&cells);

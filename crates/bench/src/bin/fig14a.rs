@@ -16,12 +16,27 @@ fn main() {
         "Fig. 14a — prefetch effectiveness (share of issued prefetches)",
         &["workload", "mode", "on-time", "late", "unused", "MPKI"],
     );
+    let presets = bench::presets();
+    let modes = [FalsePathMode::Include, FalsePathMode::Flush];
+    let mut jobs = Vec::new();
+    for preset in &presets {
+        for mode in modes {
+            jobs.push(bench::job(
+                move || {
+                    let mut cfg = LlbpxConfig::paper_baseline();
+                    cfg.base.false_path = mode;
+                    bench::llbpx_with(cfg)
+                },
+                &preset.spec,
+            ));
+        }
+    }
+    let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
+
     let mut acc: Vec<Vec<f64>> = vec![Vec::new(); 8];
-    for preset in bench::presets() {
-        for (mi, mode) in [FalsePathMode::Include, FalsePathMode::Flush].into_iter().enumerate() {
-            let mut cfg = LlbpxConfig::paper_baseline();
-            cfg.base.false_path = mode;
-            let r = telemetry.run(&mut bench::llbpx_with(cfg), &preset.spec, &sim);
+    for preset in &presets {
+        for (mi, mode) in modes.into_iter().enumerate() {
+            let r = results.next().expect("one result per job");
             let s = r.llbp.as_ref().expect("LLBP stats");
             let classified = (s.prefetch_on_time + s.prefetch_late + s.prefetch_unused).max(1);
             let on_time = s.prefetch_on_time as f64 / classified as f64;

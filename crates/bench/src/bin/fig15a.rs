@@ -10,10 +10,18 @@ fn main() {
         "Fig. 15a — pattern store <-> pattern buffer transfer (bits/instr)",
         &["workload", "LLBP reads", "LLBP writes", "X reads", "X writes", "total change"],
     );
+    let presets = bench::presets();
+    let mut jobs = Vec::new();
+    for preset in &presets {
+        jobs.push(bench::job(bench::llbp, &preset.spec));
+        jobs.push(bench::job(bench::llbpx, &preset.spec));
+    }
+    let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
+
     let mut totals: Vec<Vec<f64>> = vec![Vec::new(); 2];
-    for preset in bench::presets() {
-        let rl = telemetry.run(&mut bench::llbp(), &preset.spec, &sim);
-        let rx = telemetry.run(&mut bench::llbpx(), &preset.spec, &sim);
+    for preset in &presets {
+        let rl = results.next().expect("one result per job");
+        let rx = results.next().expect("one result per job");
         let (lr, lw) = rl
             .llbp
             .as_ref()

@@ -14,10 +14,18 @@ fn main() {
         "Fig. 15b — LLBP-X energy relative to LLBP",
         &["workload", "PS energy", "CTT energy", "total"],
     );
+    let presets = bench::presets();
+    let mut jobs = Vec::new();
+    for preset in &presets {
+        jobs.push(bench::job(bench::llbp, &preset.spec));
+        jobs.push(bench::job(bench::llbpx, &preset.spec));
+    }
+    let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
+
     let mut rel_totals = Vec::new();
-    for preset in bench::presets() {
-        let rl = telemetry.run(&mut bench::llbp(), &preset.spec, &sim);
-        let rx = telemetry.run(&mut bench::llbpx(), &preset.spec, &sim);
+    for preset in &presets {
+        let rl = results.next().expect("one result per job");
+        let rx = results.next().expect("one result per job");
         let sl = rl.llbp.as_ref().expect("LLBP stats");
         let sx = rx.llbp.as_ref().expect("LLBP-X stats");
 

@@ -23,15 +23,29 @@ fn main() {
         &header_refs,
     );
 
+    let mut jobs = Vec::new();
+    for preset in &presets {
+        jobs.push(bench::job(bench::tsl64, &preset.spec));
+        for &(log2_sets, _) in sweeps {
+            jobs.push(bench::job(
+                move || {
+                    let mut cfg = LlbpxConfig::zero_latency();
+                    cfg.base.cd_log2_sets = log2_sets;
+                    bench::llbpx_with(cfg)
+                },
+                &preset.spec,
+            ));
+        }
+    }
+    let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
+
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); sweeps.len()];
     for preset in &presets {
-        let base = telemetry.run(&mut bench::tsl64(), &preset.spec, &sim);
+        let base = results.next().expect("one result per job");
         let mut cells = vec![preset.spec.name.clone()];
-        for (i, &(log2_sets, _)) in sweeps.iter().enumerate() {
-            let mut cfg = LlbpxConfig::zero_latency();
-            cfg.base.cd_log2_sets = log2_sets;
-            let r = telemetry.run(&mut bench::llbpx_with(cfg), &preset.spec, &sim);
-            ratios[i].push(r.mpki() / base.mpki());
+        for ratio_col in &mut ratios {
+            let r = results.next().expect("one result per job");
+            ratio_col.push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }
         table.row(&cells);

@@ -20,15 +20,29 @@ fn main() {
         &header_refs,
     );
 
+    let mut jobs = Vec::new();
+    for preset in &presets {
+        for &kb in sizes {
+            jobs.push(bench::job(move || bench::tsl(kb), &preset.spec));
+            jobs.push(bench::job(
+                move || {
+                    let mut cfg = LlbpxConfig::zero_latency();
+                    cfg.base.tsl = TslConfig::kilobytes(kb);
+                    bench::llbpx_with(cfg)
+                },
+                &preset.spec,
+            ));
+        }
+    }
+    let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
+
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
     for preset in &presets {
         let mut cells = vec![preset.spec.name.clone()];
-        for (i, &kb) in sizes.iter().enumerate() {
-            let base = telemetry.run(&mut bench::tsl(kb), &preset.spec, &sim);
-            let mut cfg = LlbpxConfig::zero_latency();
-            cfg.base.tsl = TslConfig::kilobytes(kb);
-            let r = telemetry.run(&mut bench::llbpx_with(cfg), &preset.spec, &sim);
-            ratios[i].push(r.mpki() / base.mpki());
+        for ratio_col in &mut ratios {
+            let base = results.next().expect("one result per job");
+            let r = results.next().expect("one result per job");
+            ratio_col.push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }
         table.row(&cells);

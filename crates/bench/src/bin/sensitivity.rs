@@ -17,14 +17,25 @@ fn main() {
         "\u{a7}VII-F — H_th sweep: MPKI reduction over 64K TSL",
         &header_refs,
     );
+    let mut jobs = Vec::new();
+    for preset in &presets {
+        jobs.push(bench::job(bench::tsl64, &preset.spec));
+        for &h in &h_ths {
+            jobs.push(bench::job(
+                move || bench::llbpx_with(LlbpxConfig::paper_baseline().with_h_th(h)),
+                &preset.spec,
+            ));
+        }
+    }
+    let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
+
     let mut h_ratios: Vec<Vec<f64>> = vec![Vec::new(); h_ths.len()];
     for preset in &presets {
-        let base = telemetry.run(&mut bench::tsl64(), &preset.spec, &sim);
+        let base = results.next().expect("one result per job");
         let mut cells = vec![preset.spec.name.clone()];
-        for (i, &h) in h_ths.iter().enumerate() {
-            let cfg = LlbpxConfig::paper_baseline().with_h_th(h);
-            let r = telemetry.run(&mut bench::llbpx_with(cfg), &preset.spec, &sim);
-            h_ratios[i].push(r.mpki() / base.mpki());
+        for ratio_col in &mut h_ratios {
+            let r = results.next().expect("one result per job");
+            ratio_col.push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }
         table.row(&cells);
@@ -45,14 +56,25 @@ fn main() {
         "\u{a7}VII-F — CTT capacity sweep: MPKI reduction over 64K TSL",
         &header_refs,
     );
+    let mut jobs = Vec::new();
+    for preset in &presets {
+        jobs.push(bench::job(bench::tsl64, &preset.spec));
+        for &entries in &ctt_sizes {
+            jobs.push(bench::job(
+                move || bench::llbpx_with(LlbpxConfig::paper_baseline().with_ctt_entries(entries)),
+                &preset.spec,
+            ));
+        }
+    }
+    let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
+
     let mut c_ratios: Vec<Vec<f64>> = vec![Vec::new(); ctt_sizes.len()];
     for preset in &presets {
-        let base = telemetry.run(&mut bench::tsl64(), &preset.spec, &sim);
+        let base = results.next().expect("one result per job");
         let mut cells = vec![preset.spec.name.clone()];
-        for (i, &entries) in ctt_sizes.iter().enumerate() {
-            let cfg = LlbpxConfig::paper_baseline().with_ctt_entries(entries);
-            let r = telemetry.run(&mut bench::llbpx_with(cfg), &preset.spec, &sim);
-            c_ratios[i].push(r.mpki() / base.mpki());
+        for ratio_col in &mut c_ratios {
+            let r = results.next().expect("one result per job");
+            ratio_col.push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }
         table.row(&cells);

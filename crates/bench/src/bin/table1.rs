@@ -12,10 +12,12 @@ fn main() {
         "Table I — workloads with branch MPKI for 64K TSL",
         &["workload", "measured MPKI", "paper MPKI"],
     );
+    let presets = bench::presets();
+    let jobs = presets.iter().map(|p| bench::job(bench::tsl64, &p.spec)).collect();
+    let results = bench::run_matrix(&mut telemetry, &sim, jobs);
+
     let mut measured = Vec::new();
-    for preset in bench::presets() {
-        let mut tsl = bench::tsl64();
-        let result = telemetry.run(&mut tsl, &preset.spec, &sim);
+    for (preset, result) in presets.iter().zip(&results) {
         measured.push(result.mpki());
         table.row(&[preset.spec.name.clone(), f3(result.mpki()), f3(preset.paper_mpki)]);
     }

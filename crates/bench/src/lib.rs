@@ -18,8 +18,11 @@
 //! `BENCH_<name>.json`).
 
 use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Instant;
 
 use bpsim::analysis::ContextAnalysis;
+use bpsim::exec::{self, MatrixJob};
 use bpsim::runner::{RunResult, Simulation};
 use bpsim::{CoreParams, SimPredictor};
 use llbpx::{Llbp, LlbpConfig, LlbpxConfig};
@@ -28,8 +31,13 @@ use telemetry::Json;
 use workloads::presets::Preset;
 use workloads::WorkloadSpec;
 
+/// Process start anchor, set by the first [`sim`] call; [`footer`] reports
+/// elapsed wall time against it.
+static STARTED: OnceLock<Instant> = OnceLock::new();
+
 /// The simulation protocol for this invocation (env-scaled).
 pub fn sim() -> Simulation {
+    STARTED.get_or_init(Instant::now);
     Simulation::from_env()
 }
 
@@ -124,6 +132,67 @@ pub fn run(design: &mut Box<dyn SimPredictor>, spec: &WorkloadSpec, sim: &Simula
     sim.run(design.as_mut(), spec)
 }
 
+/// One run-matrix cell: `factory` builds the design on the worker thread
+/// that claims the job. Plain constructors pass directly
+/// (`bench::job(bench::tsl64, &spec)`); configured designs capture their
+/// config (`bench::job(move || bench::llbpx_with(cfg), &spec)`).
+pub fn job(
+    factory: impl FnOnce() -> Box<dyn SimPredictor> + Send + 'static,
+    spec: &WorkloadSpec,
+) -> MatrixJob<'static> {
+    MatrixJob::new(factory, spec)
+}
+
+/// Runs a matrix of jobs through the parallel experiment engine
+/// ([`bpsim::exec`]) and records every run, returning the results in job
+/// order — bit-identical to running the same cells serially.
+///
+/// `LLBPX_THREADS` selects the worker count and `LLBPX_TRACE_CACHE_MB`
+/// caps the shared trace cache (see the engine docs). The engine's
+/// bookkeeping (thread count, cache behavior) lands on the binary's
+/// telemetry record line.
+pub fn run_matrix(
+    telemetry: &mut Telemetry,
+    sim: &Simulation,
+    jobs: Vec<MatrixJob<'static>>,
+) -> Vec<RunResult> {
+    let report = exec::run_matrix(sim, jobs);
+    telemetry.record_engine(&report);
+    report
+        .outputs
+        .into_iter()
+        .map(|mut output| {
+            telemetry.record_run(&mut output.result, sim, Some(output.storage_bits));
+            output.result
+        })
+        .collect()
+}
+
+/// Runs several context analyses (Figs. 6-9) in parallel through the
+/// engine, recording each underlying simulation run; results come back in
+/// job order. Analysis runs always stream their workload (the instrumented
+/// predictor dominates their cost), so only the fan-out is shared with
+/// [`run_matrix`].
+pub fn run_analyses(
+    telemetry: &mut Telemetry,
+    sim: &Simulation,
+    jobs: Vec<(WorkloadSpec, usize)>,
+) -> Vec<ContextAnalysis> {
+    let boxed: Vec<exec::BoxedJob<'static, ContextAnalysis>> = jobs
+        .into_iter()
+        .map(|(spec, w)| {
+            let sim = *sim;
+            Box::new(move || bpsim::analysis::analyze_contexts(&spec, w, &sim))
+                as exec::BoxedJob<'static, ContextAnalysis>
+        })
+        .collect();
+    let mut analyses = exec::run_jobs(boxed);
+    for analysis in &mut analyses {
+        telemetry.record_run(&mut analysis.run, sim, None);
+    }
+    analyses
+}
+
 /// Machine-readable emission for one experiment binary.
 ///
 /// Construct once at the top of `main`, route every simulation through
@@ -137,6 +206,7 @@ pub struct Telemetry {
     sink: Option<PathBuf>,
     runs: Vec<Json>,
     extra: Vec<(String, Json)>,
+    started: Instant,
     emitted: bool,
 }
 
@@ -149,6 +219,7 @@ impl Telemetry {
             sink: telemetry::record::sink_from_env(bench),
             runs: Vec::new(),
             extra: Vec::new(),
+            started: Instant::now(),
             emitted: false,
         }
     }
@@ -158,33 +229,41 @@ impl Telemetry {
         self.sink.is_some()
     }
 
-    /// Runs one boxed design over a preset and records the run.
+    /// Runs one boxed design over a preset and records the run (the serial
+    /// path; matrix binaries go through [`run_matrix`] instead).
     pub fn run(
         &mut self,
         design: &mut Box<dyn SimPredictor>,
         spec: &WorkloadSpec,
         sim: &Simulation,
     ) -> RunResult {
-        let result = sim.run(design.as_mut(), spec);
-        self.record_run(&result, sim, Some(design.storage_bits()));
+        let mut result = sim.run(design.as_mut(), spec);
+        self.record_run(&mut result, sim, Some(design.storage_bits()));
         result
     }
 
     /// Runs the context analysis (Figs. 6-9) and records its underlying
     /// simulation run.
     pub fn analyze(&mut self, spec: &WorkloadSpec, w: usize, sim: &Simulation) -> ContextAnalysis {
-        let analysis = bpsim::analysis::analyze_contexts(spec, w, sim);
-        self.record_run(&analysis.run, sim, None);
+        let mut analysis = bpsim::analysis::analyze_contexts(spec, w, sim);
+        self.record_run(&mut analysis.run, sim, None);
         analysis
     }
 
     /// Records an externally produced run (e.g. from [`run`] or
-    /// [`bpsim::runner::compare`]).
-    pub fn record_run(&mut self, result: &RunResult, sim: &Simulation, storage_bits: Option<u64>) {
+    /// [`bpsim::runner::compare`]). Recording *moves* the run's interval
+    /// time-series and scope profile into the record (no cloning), leaving
+    /// those sections empty on `result`; headline metrics stay.
+    pub fn record_run(
+        &mut self,
+        result: &mut RunResult,
+        sim: &Simulation,
+        storage_bits: Option<u64>,
+    ) {
         if self.sink.is_none() {
             return;
         }
-        let mut rec = result.to_record(sim);
+        let mut rec = result.take_record(sim);
         let core = CoreParams::paper_table2();
         rec.extra.push((
             "cpi".to_owned(),
@@ -194,6 +273,25 @@ impl Telemetry {
             rec.extra.push(("storage_bits".to_owned(), Json::from(bits)));
         }
         self.runs.push(rec.to_json());
+    }
+
+    /// Attaches the engine's bookkeeping (thread count, trace-cache
+    /// behavior) to the record line; first matrix wins if a binary runs
+    /// several.
+    pub fn record_engine(&mut self, report: &exec::MatrixReport) {
+        if self.sink.is_none() || self.extra.iter().any(|(k, _)| k == "trace_cache") {
+            return;
+        }
+        self.extra.push(("threads".to_owned(), Json::from(report.threads as u64)));
+        self.extra.push((
+            "trace_cache".to_owned(),
+            Json::obj()
+                .set("specs_cached", report.cache.specs_cached as u64)
+                .set("specs_streamed", report.cache.specs_streamed as u64)
+                .set("cached_records", report.cache.cached_records)
+                .set("cached_bytes", report.cache.cached_bytes)
+                .set("generation_seconds", report.cache.generation_seconds),
+        ));
     }
 
     /// Attaches a top-level field to this binary's record line (for data
@@ -210,10 +308,17 @@ impl Telemetry {
         }
         self.emitted = true;
         let Some(sink) = &self.sink else { return };
+        // Elapsed (coordinator) time of the whole invocation — unlike the
+        // per-run `wall_seconds`, this does not multiply under concurrency,
+        // so threads=1 vs threads=N lines diff into a speedup directly.
         let mut line = Json::obj()
             .set("schema", telemetry::record::SCHEMA)
             .set("bench", self.bench)
+            .set("total_wall_seconds", self.started.elapsed().as_secs_f64())
             .set("runs", Json::Arr(self.runs.clone()));
+        if !self.extra.iter().any(|(k, _)| k == "threads") {
+            line = line.set("threads", exec::threads_from_env() as u64);
+        }
         for (k, v) in &self.extra {
             line = line.set(k.as_str(), v.clone());
         }
@@ -234,7 +339,8 @@ impl Drop for Telemetry {
     }
 }
 
-/// Prints the standard experiment footer: protocol and paper pointer.
+/// Prints the standard experiment footer: protocol, engine configuration
+/// (threads + elapsed wall time), and paper pointer.
 pub fn footer(sim: &Simulation, paper_ref: &str) {
     println!(
         "\nprotocol: {}M warmup + {}M measured instructions per run \
@@ -242,6 +348,13 @@ pub fn footer(sim: &Simulation, paper_ref: &str) {
         sim.warmup_instructions / 1_000_000,
         sim.measure_instructions / 1_000_000
     );
+    if let Some(started) = STARTED.get() {
+        println!(
+            "engine: {} thread(s) (LLBPX_THREADS), {:.2}s total wall time",
+            exec::threads_from_env(),
+            started.elapsed().as_secs_f64()
+        );
+    }
     println!("paper reference: {paper_ref}");
 }
 

@@ -1,0 +1,446 @@
+//! The parallel experiment engine: fans a run matrix out over worker
+//! threads and shares materialized workload traces between runs.
+//!
+//! Every figure/table binary replays the paper's protocol as a *matrix* of
+//! `(predictor, workload)` cells. The cells are embarrassingly parallel and
+//! deterministic by construction (the workload generator is seeded, the
+//! runner is single-threaded per cell), so this module provides:
+//!
+//! * [`run_jobs`] — a deterministic-order parallel map: jobs are claimed in
+//!   index order by `LLBPX_THREADS` scoped workers and the results come
+//!   back in job order, bit-identical to running them serially;
+//! * [`materialize`] — generates one workload's branch stream once into an
+//!   `Arc<[BranchRecord]>` so every predictor on that workload replays the
+//!   identical records read-only instead of re-synthesizing them;
+//! * [`run_matrix`] — the two combined, with a memory cap
+//!   (`LLBPX_TRACE_CACHE_MB`) that falls back to per-job streaming for
+//!   budgets too large to materialize (e.g. paper-protocol limit studies).
+//!
+//! Telemetry stays correct under concurrency because every per-run source
+//! is job-local: the scope profiler is thread-local and snapshotted around
+//! each run *on the worker that runs it*, the interval recorder lives
+//! inside [`Simulation::run_stream`], and each job's sections travel back
+//! to the coordinator inside its [`RunResult`]. `wall_seconds` is per-job
+//! wall time, so summing it across overlapping runs exceeds the binary's
+//! elapsed time — coordinators report elapsed time separately.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use traces::{BranchRecord, BranchStream, SharedTrace};
+use workloads::{ServerWorkload, WorkloadSpec};
+
+use crate::predictor::SimPredictor;
+use crate::runner::{RunResult, Simulation};
+
+/// Environment variable selecting the worker count (default: available
+/// parallelism).
+pub const ENV_THREADS: &str = "LLBPX_THREADS";
+
+/// Environment variable capping the shared trace cache, in MiB
+/// (default [`DEFAULT_TRACE_CACHE_MB`]; `0` disables materialization).
+pub const ENV_TRACE_CACHE_MB: &str = "LLBPX_TRACE_CACHE_MB";
+
+/// Default trace-cache cap: 3 GiB covers the 14-preset matrix at the
+/// laptop-scale default budgets; paper-scale budgets overflow it and
+/// stream instead.
+pub const DEFAULT_TRACE_CACHE_MB: u64 = 3072;
+
+/// The worker count: `LLBPX_THREADS` if set to a positive integer,
+/// otherwise the machine's available parallelism. An unparsable value
+/// warns on stderr and uses the default, like the `REPRO_*` budgets.
+pub fn threads_from_env() -> usize {
+    match std::env::var(ENV_THREADS) {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                // A binary resolves the thread count more than once (engine
+                // + record emission); warn only the first time.
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: {ENV_THREADS}={raw:?} is not a positive thread count; \
+                         using available parallelism"
+                    )
+                });
+                default_threads()
+            }
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The trace-cache cap in bytes, from [`ENV_TRACE_CACHE_MB`].
+pub fn trace_cache_bytes_from_env() -> u64 {
+    let mb = match std::env::var(ENV_TRACE_CACHE_MB) {
+        Ok(raw) => match raw.trim().parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!(
+                    "warning: {ENV_TRACE_CACHE_MB}={raw:?} is not a size in MiB; \
+                     using the default cap"
+                );
+                DEFAULT_TRACE_CACHE_MB
+            }
+        },
+        Err(_) => DEFAULT_TRACE_CACHE_MB,
+    };
+    mb.saturating_mul(1024 * 1024)
+}
+
+/// A boxed unit of work for [`run_jobs`].
+pub type BoxedJob<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// Runs `jobs` across [`threads_from_env`] workers; results return in job
+/// order.
+pub fn run_jobs<T: Send>(jobs: Vec<BoxedJob<'_, T>>) -> Vec<T> {
+    run_jobs_with(threads_from_env(), jobs)
+}
+
+/// Runs `jobs` across at most `threads` scoped workers and returns the
+/// results in job order.
+///
+/// Workers claim jobs in index order from a shared counter, each job runs
+/// entirely on one worker thread, and its result is stored into the slot
+/// of its index — so the output order (and, for deterministic jobs, every
+/// output bit) is independent of the thread count. `threads <= 1` runs the
+/// jobs serially on the calling thread with no spawning at all.
+pub fn run_jobs_with<T: Send>(threads: usize, jobs: Vec<BoxedJob<'_, T>>) -> Vec<T> {
+    let n = jobs.len();
+    let threads = threads.max(1).min(n);
+    if threads <= 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+
+    let queue: Vec<Mutex<Option<BoxedJob<'_, T>>>> =
+        jobs.into_iter().map(|job| Mutex::new(Some(job))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = queue[i].lock().unwrap().take().expect("each job is claimed once");
+                let result = job();
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("scope joined every worker"))
+        .collect()
+}
+
+/// Materializes the branch stream of `spec` into shared read-only storage
+/// covering at least `instructions` of simulation, or `None` if doing so
+/// would exceed `cap_bytes`.
+///
+/// The trace is generated past the requested budget by twice the largest
+/// record seen, which provably covers the runner's boundary overshoot (the
+/// warmup and measurement loops each run their crossing record to
+/// completion), so replaying the result is bit-identical to streaming the
+/// generator — same records, same order, same stopping point.
+pub fn materialize(
+    spec: &WorkloadSpec,
+    instructions: u64,
+    cap_bytes: u64,
+) -> Option<Arc<[BranchRecord]>> {
+    let _t = telemetry::scope("workload::materialize");
+    let record_bytes = std::mem::size_of::<BranchRecord>() as u64;
+    let mut stream = ServerWorkload::new(spec);
+    let mut records: Vec<BranchRecord> = Vec::new();
+    let mut generated = 0u64;
+    let mut largest = 1u64;
+    while generated < instructions.saturating_add(2 * largest) {
+        if (records.len() as u64 + 1) * record_bytes > cap_bytes {
+            return None;
+        }
+        let rec = stream.next_branch()?;
+        generated += rec.instructions();
+        largest = largest.max(rec.instructions());
+        records.push(rec);
+    }
+    Some(records.into())
+}
+
+/// One cell of a run matrix: a predictor factory plus the workload it runs
+/// on. The factory executes on the worker thread that claims the job, so
+/// predictors never cross threads.
+pub struct MatrixJob<'a> {
+    /// Builds the predictor (and may run arbitrary setup, e.g. oracle
+    /// training) on the worker thread.
+    pub factory: Box<dyn FnOnce() -> Box<dyn SimPredictor> + Send + 'a>,
+    /// The workload the predictor runs on. Jobs with equal specs share one
+    /// materialized trace.
+    pub spec: WorkloadSpec,
+}
+
+impl<'a> MatrixJob<'a> {
+    /// Creates a job from a factory and the workload spec it runs on.
+    pub fn new(
+        factory: impl FnOnce() -> Box<dyn SimPredictor> + Send + 'a,
+        spec: &WorkloadSpec,
+    ) -> Self {
+        MatrixJob { factory: Box::new(factory), spec: spec.clone() }
+    }
+}
+
+/// One finished matrix cell.
+pub struct MatrixOutput {
+    /// The run itself (headline metrics plus telemetry sections).
+    pub result: RunResult,
+    /// Storage budget of the predictor that ran, for the telemetry record.
+    pub storage_bits: u64,
+}
+
+/// How the shared trace cache behaved for one matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TraceCacheStats {
+    /// Distinct workload specs materialized into shared storage.
+    pub specs_cached: usize,
+    /// Distinct specs that streamed instead (single-job specs or cap
+    /// overflow).
+    pub specs_streamed: usize,
+    /// Total records held across all materialized traces.
+    pub cached_records: u64,
+    /// Total bytes held across all materialized traces.
+    pub cached_bytes: u64,
+    /// Wall-clock seconds spent generating the shared traces.
+    pub generation_seconds: f64,
+}
+
+/// A completed run matrix: per-cell outputs in job order plus engine
+/// bookkeeping for the coordinator's telemetry record.
+pub struct MatrixReport {
+    /// Per-job outputs, in the order the jobs were submitted.
+    pub outputs: Vec<MatrixOutput>,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Shared-trace cache behavior.
+    pub cache: TraceCacheStats,
+}
+
+/// Runs a matrix with the environment-selected thread count and trace
+/// cache cap. See [`run_matrix_with`].
+pub fn run_matrix(sim: &Simulation, jobs: Vec<MatrixJob<'_>>) -> MatrixReport {
+    run_matrix_with(sim, jobs, threads_from_env(), trace_cache_bytes_from_env())
+}
+
+/// Runs every `(predictor factory, workload)` job under `sim`, fanning out
+/// over at most `threads` workers, and returns the results in job order —
+/// bit-identical to running the same cells serially via [`Simulation::run`].
+///
+/// Each distinct spec shared by two or more jobs is materialized once
+/// (within `cap_bytes` across all specs) and replayed read-only by every
+/// job on that workload; single-job specs and cap overflow stream from the
+/// generator exactly as the serial path does. Both paths produce the same
+/// records in the same order, so accuracy never depends on which one ran.
+pub fn run_matrix_with(
+    sim: &Simulation,
+    jobs: Vec<MatrixJob<'_>>,
+    threads: usize,
+    cap_bytes: u64,
+) -> MatrixReport {
+    let budget = sim.warmup_instructions.saturating_add(sim.measure_instructions);
+    let mut cache: Vec<(WorkloadSpec, Option<Arc<[BranchRecord]>>)> = Vec::new();
+    let mut stats = TraceCacheStats::default();
+    let record_bytes = std::mem::size_of::<BranchRecord>() as u64;
+
+    let generation_started = Instant::now();
+    for job in &jobs {
+        if cache.iter().any(|(spec, _)| *spec == job.spec) {
+            continue;
+        }
+        let sharers = jobs.iter().filter(|j| j.spec == job.spec).count();
+        let remaining = cap_bytes.saturating_sub(stats.cached_bytes);
+        let trace =
+            if sharers >= 2 { materialize(&job.spec, budget, remaining) } else { None };
+        match &trace {
+            Some(t) => {
+                stats.specs_cached += 1;
+                stats.cached_records += t.len() as u64;
+                stats.cached_bytes += t.len() as u64 * record_bytes;
+            }
+            None => stats.specs_streamed += 1,
+        }
+        cache.push((job.spec.clone(), trace));
+    }
+    stats.generation_seconds = generation_started.elapsed().as_secs_f64();
+
+    let boxed: Vec<BoxedJob<'_, MatrixOutput>> = jobs
+        .into_iter()
+        .map(|job| {
+            let trace = cache
+                .iter()
+                .find(|(spec, _)| *spec == job.spec)
+                .and_then(|(_, trace)| trace.clone());
+            let sim = *sim;
+            let MatrixJob { factory, spec } = job;
+            Box::new(move || {
+                let mut predictor = factory();
+                let storage_bits = predictor.storage_bits();
+                let result = match trace {
+                    Some(records) => {
+                        let mut replay = SharedTrace::new(records);
+                        sim.run_stream(predictor.as_mut(), &mut replay, &spec.name)
+                    }
+                    None => sim.run(predictor.as_mut(), &spec),
+                };
+                MatrixOutput { result, storage_bits }
+            }) as BoxedJob<'_, MatrixOutput>
+        })
+        .collect();
+
+    let used_threads = threads.max(1).min(boxed.len().max(1));
+    let outputs = run_jobs_with(threads, boxed);
+    MatrixReport { outputs, threads: used_threads, cache: stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::compare;
+    use llbpx::{Llbp, LlbpConfig};
+    use tage::{TageScl, TslConfig};
+
+    fn tiny_spec(name: &str, seed: u64) -> WorkloadSpec {
+        WorkloadSpec::new(name, seed).with_request_types(64).with_handlers(8)
+    }
+
+    fn tiny_sim() -> Simulation {
+        Simulation { warmup_instructions: 60_000, measure_instructions: 150_000 }
+    }
+
+    #[test]
+    fn run_jobs_preserves_submission_order() {
+        let jobs: Vec<BoxedJob<'_, usize>> =
+            (0..17usize).map(|i| Box::new(move || i * i) as BoxedJob<'_, usize>).collect();
+        let results = run_jobs_with(4, jobs);
+        assert_eq!(results, (0..17).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_jobs_borrows_from_the_caller() {
+        let inputs = vec![1u64, 2, 3];
+        let jobs: Vec<BoxedJob<'_, u64>> =
+            inputs.iter().map(|v| Box::new(move || v + 10) as BoxedJob<'_, u64>).collect();
+        assert_eq!(run_jobs_with(2, jobs), vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn materialized_replay_is_bit_identical_to_streaming() {
+        let sim = tiny_sim();
+        let spec = tiny_spec("mat", 7);
+        let streamed = sim.run(&mut TageScl::new(TslConfig::kilobytes(64)), &spec);
+
+        let trace = materialize(&spec, sim.warmup_instructions + sim.measure_instructions, u64::MAX)
+            .expect("uncapped materialization succeeds");
+        let mut replay = SharedTrace::new(trace);
+        let replayed = sim.run_stream(
+            &mut TageScl::new(TslConfig::kilobytes(64)),
+            &mut replay,
+            &spec.name,
+        );
+
+        assert_eq!(streamed.instructions, replayed.instructions);
+        assert_eq!(streamed.cond_branches, replayed.cond_branches);
+        assert_eq!(streamed.mispredicts, replayed.mispredicts);
+        assert_eq!(streamed.override_candidates, replayed.override_candidates);
+        assert_eq!(streamed.intervals, replayed.intervals);
+    }
+
+    #[test]
+    fn materialization_respects_the_cap() {
+        let spec = tiny_spec("cap", 9);
+        assert!(materialize(&spec, 100_000, 1024).is_none(), "1 KiB cannot hold 100K instrs");
+        assert!(materialize(&spec, 100_000, u64::MAX).is_some());
+    }
+
+    #[test]
+    fn matrix_matches_serial_compare_at_every_thread_count() {
+        let sim = tiny_sim();
+        let specs = [tiny_spec("a", 3), tiny_spec("b", 4)];
+
+        let mut serial = Vec::new();
+        for spec in &specs {
+            let mut tsl = TageScl::new(TslConfig::kilobytes(64));
+            let mut llbp = Llbp::new(LlbpConfig::paper_baseline());
+            serial.extend(compare(
+                &sim,
+                spec,
+                [&mut tsl as &mut dyn SimPredictor, &mut llbp as &mut dyn SimPredictor],
+            ));
+        }
+
+        for threads in [1usize, 4] {
+            for cap in [0u64, u64::MAX] {
+                let mut jobs = Vec::new();
+                for spec in &specs {
+                    jobs.push(MatrixJob::new(
+                        || Box::new(TageScl::new(TslConfig::kilobytes(64))) as Box<dyn SimPredictor>,
+                        spec,
+                    ));
+                    jobs.push(MatrixJob::new(
+                        || Box::new(Llbp::new(LlbpConfig::paper_baseline())) as Box<dyn SimPredictor>,
+                        spec,
+                    ));
+                }
+                let report = run_matrix_with(&sim, jobs, threads, cap);
+                assert_eq!(report.outputs.len(), serial.len());
+                for (parallel, serial) in report.outputs.iter().zip(&serial) {
+                    assert_eq!(parallel.result.name, serial.name);
+                    assert_eq!(parallel.result.workload, serial.workload);
+                    assert_eq!(parallel.result.instructions, serial.instructions);
+                    assert_eq!(parallel.result.mispredicts, serial.mispredicts);
+                    assert_eq!(
+                        parallel.result.override_candidates,
+                        serial.override_candidates
+                    );
+                    assert_eq!(parallel.result.intervals, serial.intervals);
+                    assert!(parallel.storage_bits > 0);
+                }
+                if cap == u64::MAX {
+                    assert_eq!(report.cache.specs_cached, 2);
+                } else {
+                    assert_eq!(report.cache.specs_cached, 0);
+                    assert_eq!(report.cache.specs_streamed, 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_profiles_travel_with_their_runs() {
+        let sim = tiny_sim();
+        let spec = tiny_spec("prof", 5);
+        let jobs = vec![
+            MatrixJob::new(
+                || Box::new(Llbp::new(LlbpConfig::paper_baseline())) as Box<dyn SimPredictor>,
+                &spec,
+            ),
+            MatrixJob::new(
+                || Box::new(Llbp::new(LlbpConfig::paper_baseline())) as Box<dyn SimPredictor>,
+                &spec,
+            ),
+        ];
+        let report = run_matrix_with(&sim, jobs, 4, u64::MAX);
+        for output in &report.outputs {
+            let named: Vec<&str> = output.result.profile.iter().map(|s| s.name).collect();
+            for scope in ["tage::predict", "tage::update", "llbp::pattern_lookup"] {
+                assert!(named.contains(&scope), "{scope} missing from {named:?}");
+            }
+            assert!(output.result.wall_seconds > 0.0);
+        }
+    }
+}

@@ -6,6 +6,10 @@
 //! * [`runner`] — drives a predictor over a workload with warmup and
 //!   measurement phases (the paper's 100M + 200M instruction protocol,
 //!   scaled by configuration) and produces [`runner::RunResult`]s;
+//! * [`exec`] — the parallel experiment engine: fans a matrix of
+//!   `(predictor, workload)` runs out over `LLBPX_THREADS` workers with
+//!   deterministic job ordering, sharing one materialized trace per
+//!   workload across its runs (`LLBPX_TRACE_CACHE_MB` caps the cache);
 //! * [`timing`] — an analytical out-of-order core model standing in for
 //!   gem5 (Figs. 1, 13, 14b), including the overriding-pipeline variant;
 //! * [`energy`] — a CACTI-like access-energy model for Fig. 15b;
@@ -30,6 +34,7 @@
 
 pub mod analysis;
 pub mod energy;
+pub mod exec;
 pub mod predictor;
 pub mod report;
 pub mod runner;

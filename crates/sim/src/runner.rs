@@ -32,6 +32,10 @@ pub struct RunResult {
     /// after [`SimPredictor::finish`].
     pub llbp: Option<LlbpStats>,
     /// Wall-clock seconds of the whole run (warmup + measurement).
+    ///
+    /// This is per-job wall time: under the parallel experiment engine
+    /// ([`crate::exec`]) runs overlap, so the sum of `wall_seconds` across
+    /// runs exceeds the elapsed wall clock of the invoking binary.
     pub wall_seconds: f64,
     /// Interval time-series over the measurement phase (width from
     /// `LLBPX_INTERVAL` or an eighth of the budget).
@@ -61,7 +65,12 @@ impl RunResult {
 
     /// The run as a structured telemetry record; `sim` supplies the
     /// requested protocol (warmup/measurement budgets).
-    pub fn to_record(&self, sim: &Simulation) -> RunRecord {
+    ///
+    /// The bulky telemetry sections (`intervals`, `profile`) are *moved*
+    /// into the record rather than cloned — after this call the result
+    /// keeps its headline counters (MPKI, mispredicts, second-level stats)
+    /// but its interval time-series and scope profile are empty.
+    pub fn take_record(&mut self, sim: &Simulation) -> RunRecord {
         RunRecord {
             predictor: self.name.clone(),
             workload: self.workload.clone(),
@@ -79,8 +88,8 @@ impl RunResult {
                 .as_ref()
                 .map(|l| l.alloc_len_histogram.to_vec())
                 .unwrap_or_default(),
-            intervals: self.intervals.clone(),
-            profile: self.profile.clone(),
+            intervals: std::mem::take(&mut self.intervals),
+            profile: std::mem::take(&mut self.profile),
             extra: Vec::new(),
         }
     }
@@ -105,10 +114,21 @@ impl Simulation {
     /// Reads `REPRO_WARMUP` / `REPRO_INSTRUCTIONS` from the environment
     /// (instruction counts), falling back to [`Simulation::quick`]. The
     /// experiment binaries all use this, so one variable rescales every
-    /// figure.
+    /// figure. A set-but-unparsable value falls back too, with a warning
+    /// on stderr so a typo'd budget doesn't invisibly shrink a run.
     pub fn from_env() -> Self {
         let parse = |key: &str| {
-            std::env::var(key).ok().and_then(|v| v.replace('_', "").parse::<u64>().ok())
+            let raw = std::env::var(key).ok()?;
+            match raw.replace('_', "").parse::<u64>() {
+                Ok(v) => Some(v),
+                Err(_) => {
+                    eprintln!(
+                        "warning: {key}={raw:?} is not an instruction count; \
+                         using the default budget"
+                    );
+                    None
+                }
+            }
         };
         let quick = Simulation::quick();
         Simulation {
@@ -172,7 +192,12 @@ impl Simulation {
                 }
                 shadow.update(rec.pc, rec.taken);
             }
-            recorder.observe(snapshot_counters(&result, predictor, warm_stats.as_ref()));
+            // Snapshots are only materialized at interval boundaries; the
+            // recorder ignores observations between them, so skipping the
+            // per-branch snapshot yields identical samples.
+            if result.instructions >= recorder.next_boundary() {
+                recorder.observe(snapshot_counters(&result, predictor, warm_stats.as_ref()));
+            }
         }
         predictor.finish();
         // Invariants are cumulative-state properties; check them before the
@@ -316,13 +341,18 @@ mod tests {
     }
 
     #[test]
-    fn to_record_captures_protocol_and_counters() {
+    fn take_record_captures_protocol_and_counters_without_cloning_sections() {
         let sim = tiny_sim();
-        let r = sim.run(&mut Llbp::new(LlbpConfig::paper_baseline()), &tiny_spec());
-        let record = r.to_record(&sim);
+        let mut r = sim.run(&mut Llbp::new(LlbpConfig::paper_baseline()), &tiny_spec());
+        let intervals = r.intervals.len();
+        assert!(intervals >= 2);
+        let record = r.take_record(&sim);
         assert_eq!(record.warmup_instructions, sim.warmup_instructions);
         assert_eq!(record.measure_instructions, sim.measure_instructions);
         assert!(!record.counters.is_empty());
+        assert_eq!(record.intervals.len(), intervals);
+        assert!(r.intervals.is_empty(), "sections move into the record");
+        assert!(r.profile.is_empty(), "sections move into the record");
         let json = record.to_json();
         assert_eq!(
             json.get("counters").and_then(|c| c.get("cond_branches")).and_then(|v| v.as_i64()),

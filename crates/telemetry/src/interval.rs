@@ -95,6 +95,17 @@ impl IntervalRecorder {
         IntervalRecorder { every, next_at: every, last: IntervalSnapshot::default(), samples: Vec::new() }
     }
 
+    /// Instruction offset of the next interval boundary.
+    ///
+    /// Observations strictly below this offset never close an interval, so
+    /// a driver can skip building snapshots between boundaries entirely and
+    /// call [`IntervalRecorder::observe`] only once the offset is reached —
+    /// the samples are identical to observing every event.
+    #[inline]
+    pub fn next_boundary(&self) -> u64 {
+        self.next_at
+    }
+
     /// Feeds the current cumulative counters; closes an interval when the
     /// instruction offset crosses the next boundary.
     #[inline]
@@ -154,6 +165,21 @@ mod tests {
             mispredicts,
             ..IntervalSnapshot::default()
         }
+    }
+
+    #[test]
+    fn boundary_gated_observation_matches_per_event_observation() {
+        let mut dense = IntervalRecorder::new(100);
+        let mut gated = IntervalRecorder::new(100);
+        for i in 1..=40 {
+            let s = snap(i * 9, i);
+            dense.observe(s);
+            if s.instructions >= gated.next_boundary() {
+                gated.observe(s);
+            }
+        }
+        let tail = snap(361, 41);
+        assert_eq!(dense.finish(tail), gated.finish(tail));
     }
 
     #[test]

@@ -48,7 +48,12 @@ pub struct RunRecord {
     pub mpki: f64,
     /// Override-bubble candidates (see the overriding pipeline model).
     pub override_candidates: u64,
-    /// Wall-clock seconds the run took.
+    /// Wall-clock seconds the run took on the worker that executed it.
+    ///
+    /// Runs overlap under the parallel experiment engine, so across a
+    /// record's runs these sum to more than the invocation's elapsed time;
+    /// the record line's `total_wall_seconds` carries the coordinator's
+    /// elapsed clock for cross-thread-count comparisons.
     pub wall_seconds: f64,
     /// Full second-level counter set, in declaration order (empty for
     /// predictors without one).

@@ -35,4 +35,4 @@ pub use branch::{BranchKind, BranchRecord};
 pub use champsim::{read_champsim, write_champsim, ChampSimInstr};
 pub use format::{read_trace, write_trace, TraceFormatError};
 pub use stats::TraceStats;
-pub use stream::{BranchStream, StreamExt, Take, VecTrace};
+pub use stream::{BranchStream, SharedTrace, StreamExt, Take, VecTrace};

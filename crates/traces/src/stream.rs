@@ -4,6 +4,8 @@
 //! Streams are ordinary state machines, so workload generators can synthesize
 //! records lazily without materializing multi-hundred-million-branch traces.
 
+use std::sync::Arc;
+
 use crate::branch::BranchRecord;
 
 /// A source of dynamic branch records.
@@ -138,6 +140,61 @@ impl BranchStream for VecTrace {
     }
 }
 
+/// A read-only trace over shared, immutable records.
+///
+/// Cloning a `SharedTrace` (or building several from the same
+/// `Arc<[BranchRecord]>`) shares the backing storage, so many simulations
+/// can replay the identical materialized trace concurrently without
+/// duplicating it — the trace-cache path of the parallel experiment
+/// engine. Each instance keeps its own cursor.
+#[derive(Debug, Clone)]
+pub struct SharedTrace {
+    records: Arc<[BranchRecord]>,
+    cursor: usize,
+}
+
+impl SharedTrace {
+    /// Creates a trace over `records`, positioned at the start.
+    pub fn new(records: Arc<[BranchRecord]>) -> Self {
+        SharedTrace { records, cursor: 0 }
+    }
+
+    /// Number of records in the trace (independent of the cursor).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Read-only view of the underlying records.
+    pub fn records(&self) -> &[BranchRecord] {
+        &self.records
+    }
+
+    /// A second, independent cursor over the same shared storage.
+    pub fn reopen(&self) -> SharedTrace {
+        SharedTrace { records: Arc::clone(&self.records), cursor: 0 }
+    }
+}
+
+impl From<Vec<BranchRecord>> for SharedTrace {
+    fn from(records: Vec<BranchRecord>) -> Self {
+        SharedTrace::new(records.into())
+    }
+}
+
+impl BranchStream for SharedTrace {
+    #[inline]
+    fn next_branch(&mut self) -> Option<BranchRecord> {
+        let record = self.records.get(self.cursor).copied()?;
+        self.cursor += 1;
+        Some(record)
+    }
+}
+
 impl FromIterator<BranchRecord> for VecTrace {
     fn from_iter<I: IntoIterator<Item = BranchRecord>>(iter: I) -> Self {
         VecTrace::new(iter.into_iter().collect())
@@ -231,6 +288,21 @@ mod tests {
         assert!(consume_one(&mut trace).is_some());
         // The underlying trace advanced through the reference.
         assert_eq!(trace.iter().count(), 1);
+    }
+
+    #[test]
+    fn shared_trace_replays_identically_from_shared_storage() {
+        let records = sample(4);
+        let shared: SharedTrace = records.clone().into();
+        let mut a = shared.reopen();
+        let mut b = shared.reopen();
+        for expected in &records {
+            assert_eq!(a.next_branch().as_ref(), Some(expected));
+            assert_eq!(b.next_branch().as_ref(), Some(expected));
+        }
+        assert_eq!(a.next_branch(), None);
+        assert_eq!(shared.len(), 4, "reopened cursors leave the source untouched");
+        assert_eq!(shared.records(), &records[..]);
     }
 
     #[test]

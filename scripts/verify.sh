@@ -14,31 +14,52 @@ cargo build --release --offline
 echo "== tier-1: test suite =="
 cargo test -q --offline
 
-echo "== smoke: fig01 --json =="
-sink="$(mktemp -t llbpx-verify-XXXXXX.json)"
-trap 'rm -f "$sink"' EXIT
-REPRO_WORKLOADS=NodeApp REPRO_WARMUP=100000 REPRO_INSTRUCTIONS=400000 \
-    ./target/release/fig01 --json "$sink"
+echo "== smoke: fig01 --json, LLBPX_THREADS=1 vs 4 =="
+sink1="$(mktemp -t llbpx-verify-t1-XXXXXX.json)"
+sink4="$(mktemp -t llbpx-verify-t4-XXXXXX.json)"
+trap 'rm -f "$sink1" "$sink4"' EXIT
+for t in 1 4; do
+    sink_var="sink$t"
+    LLBPX_THREADS=$t REPRO_WORKLOADS=NodeApp,TPCC \
+        REPRO_WARMUP=100000 REPRO_INSTRUCTIONS=400000 \
+        ./target/release/fig01 --json "${!sink_var}"
+done
 
-# The record must be one well-formed JSON line with runs, intervals, and a
-# nonzero scope profile (the same contract tests/telemetry.rs enforces).
-python3 - "$sink" <<'EOF'
+# Each record must be one well-formed JSON line with runs, intervals, the
+# engine bookkeeping, and a nonzero scope profile (the same contract
+# tests/telemetry.rs enforces) — and every accuracy field must be
+# bit-identical between the 1-thread and 4-thread invocations (only the
+# timing fields may differ).
+python3 - "$sink1" "$sink4" <<'EOF'
 import json, sys
 
-with open(sys.argv[1]) as f:
-    lines = [l for l in f.read().splitlines() if l.strip()]
-assert len(lines) == 1, f"expected one record line, got {len(lines)}"
-rec = json.loads(lines[0])
-assert rec["schema"] == "llbpx-telemetry/1", rec["schema"]
-assert rec["bench"] == "fig01"
-assert len(rec["runs"]) >= 1
-for run in rec["runs"]:
-    assert len(run["intervals"]) >= 2, "too few interval samples"
-    timed = [s for s in run["profile"] if s["nanos"] > 0 and s["calls"] > 0]
-    assert len(timed) >= 3, f"too few timed scopes: {run['profile']}"
-print(f"ok: {len(rec['runs'])} run record(s), "
-      f"{len(rec['runs'][0]['intervals'])} intervals, "
-      f"{len(rec['runs'][0]['profile'])} scopes")
+def load(path):
+    with open(path) as f:
+        lines = [l for l in f.read().splitlines() if l.strip()]
+    assert len(lines) == 1, f"expected one record line, got {len(lines)}"
+    rec = json.loads(lines[0])
+    assert rec["schema"] == "llbpx-telemetry/1", rec["schema"]
+    assert rec["bench"] == "fig01"
+    assert rec["total_wall_seconds"] > 0
+    assert rec["trace_cache"]["specs_cached"] + rec["trace_cache"]["specs_streamed"] >= 1
+    assert len(rec["runs"]) >= 1
+    for run in rec["runs"]:
+        assert len(run["intervals"]) >= 2, "too few interval samples"
+        timed = [s for s in run["profile"] if s["nanos"] > 0 and s["calls"] > 0]
+        assert len(timed) >= 2, f"too few timed scopes: {run['profile']}"
+    return rec
+
+one, four = load(sys.argv[1]), load(sys.argv[2])
+assert one["threads"] == 1 and four["threads"] == 4, (one["threads"], four["threads"])
+assert len(one["runs"]) == len(four["runs"])
+ACCURACY = ["predictor", "workload", "instructions", "cond_branches",
+            "mispredicts", "mpki", "intervals"]
+for r1, r4 in zip(one["runs"], four["runs"]):
+    for key in ACCURACY:
+        assert r1[key] == r4[key], \
+            f"{key} differs between threads=1 and threads=4 for {r1['predictor']}"
+print(f"ok: {len(one['runs'])} run record(s), accuracy bit-identical at 1 and 4 threads, "
+      f"wall {one['total_wall_seconds']:.2f}s vs {four['total_wall_seconds']:.2f}s")
 EOF
 
 echo "== verify: all green =="

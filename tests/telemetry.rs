@@ -3,8 +3,11 @@
 //!
 //! This is the acceptance test for the telemetry layer: a bench binary run
 //! with `--json <path>` must append a valid record line carrying the
-//! protocol/config, the full second-level counters, at least two interval
-//! samples, and at least three named profile scopes with nonzero timings.
+//! protocol/config, the engine bookkeeping (threads, trace cache, total
+//! wall time), the full second-level counters, at least two interval
+//! samples, and the predictor profile scopes with nonzero timings. (Runs
+//! replaying a cached trace spend no time in the workload generator, so
+//! generator scopes are only asserted on the library's streaming path.)
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -23,9 +26,9 @@ fn library_run_records_carry_every_section() {
     let sim = Simulation { warmup_instructions: 50_000, measure_instructions: 200_000 };
     let spec = WorkloadSpec::new("tiny", 11).with_request_types(64).with_handlers(8);
     let mut p = Llbp::new_x(LlbpxConfig::paper_baseline());
-    let result = sim.run(&mut p, &spec);
+    let mut result = sim.run(&mut p, &spec);
 
-    let json = Json::parse(&result.to_record(&sim).to_json().to_string()).expect("round-trips");
+    let json = Json::parse(&result.take_record(&sim).to_json().to_string()).expect("round-trips");
     assert_eq!(json.get("predictor").unwrap().as_str(), Some("LLBP-X"));
     assert_eq!(json.get("warmup_instructions").unwrap().as_i64(), Some(50_000));
     let counters = json.get("counters").expect("counters section");
@@ -67,6 +70,15 @@ fn bench_binary_emits_a_valid_record_with_json_flag() {
 
     assert_eq!(line.get("schema").unwrap().as_str(), Some("llbpx-telemetry/1"));
     assert_eq!(line.get("bench").unwrap().as_str(), Some("fig01"));
+
+    // Engine bookkeeping on the record line.
+    assert!(line.get("total_wall_seconds").unwrap().as_f64().unwrap() > 0.0);
+    assert!(line.get("threads").unwrap().as_i64().unwrap() >= 1);
+    let cache = line.get("trace_cache").expect("trace_cache section");
+    let cached = cache.get("specs_cached").unwrap().as_i64().unwrap();
+    let streamed = cache.get("specs_streamed").unwrap().as_i64().unwrap();
+    assert_eq!(cached + streamed, 1, "fig01 on one workload touches one spec");
+
     let runs = line.get("runs").unwrap().as_arr().expect("runs array");
     assert_eq!(runs.len(), 2, "fig01 runs two designs on one workload");
 
@@ -91,15 +103,18 @@ fn bench_binary_emits_a_valid_record_with_json_flag() {
             intervals.iter().map(|s| s.get("instructions").unwrap().as_i64().unwrap()).collect();
         assert!(offsets.windows(2).all(|w| w[0] < w[1]), "non-monotone {offsets:?}");
 
-        // Scope profile: at least three named scopes, all with time.
+        // Scope profile: the predictor scopes must always be timed. (With
+        // both designs sharing NodeApp's trace, the replayed runs never
+        // enter the workload generator, so its scopes live in the
+        // coordinator's `workload::materialize`, not here.)
         let profile = run.get("profile").unwrap().as_arr().unwrap();
         let timed: Vec<&str> = profile
             .iter()
             .filter(|s| s.get("nanos").and_then(Json::as_i64).unwrap_or(0) > 0)
             .map(|s| s.get("scope").unwrap().as_str().unwrap())
             .collect();
-        assert!(timed.len() >= 3, "expected >=3 timed scopes, got {timed:?}");
-        for scope in ["tage::predict", "tage::update", "workload::emit_request"] {
+        assert!(timed.len() >= 2, "expected >=2 timed scopes, got {timed:?}");
+        for scope in ["tage::predict", "tage::update"] {
             assert!(timed.contains(&scope), "{scope} missing from {timed:?}");
         }
     }
