@@ -1,10 +1,12 @@
 //! §VII-E: optimization breakdown — how much of LLBP-X's gain over LLBP
 //! comes from dynamic context depth adaptation vs history range selection.
 
+use std::process::ExitCode;
+
 use bpsim::report::{geomean, pct, Table};
 use llbpx::LlbpxConfig;
 
-fn main() {
+fn main() -> ExitCode {
     let sim = bench::sim();
     let mut telemetry = bench::Telemetry::new("breakdown");
     let mut table = Table::new(
@@ -26,9 +28,14 @@ fn main() {
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); 2];
     for preset in &presets {
         let base = results.next().expect("one result per job");
+        let runs: Vec<_> =
+            ratios.iter().map(|_| results.next().expect("one result per job")).collect();
+        if bench::any_failed(std::iter::once(&base).chain(&runs)) {
+            table.na_row(&preset.spec.name);
+            continue;
+        }
         let mut cells = vec![preset.spec.name.clone()];
-        for ratio_col in &mut ratios {
-            let r = results.next().expect("one result per job");
+        for (ratio_col, r) in ratios.iter_mut().zip(&runs) {
             ratio_col.push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }
@@ -51,4 +58,5 @@ fn main() {
         "\u{a7}VII-E: depth adaptation contributes 82% of the gain over LLBP, \
          history range selection 18%",
     );
+    bench::exit_status()
 }

@@ -7,10 +7,12 @@
 //! MPKI *drops* on the newer core while the *fraction* of stall cycles due
 //! to mispredictions *rises* — must reproduce.
 
+use std::process::ExitCode;
+
 use bpsim::report::{f3, pct, Table};
 use bpsim::CoreParams;
 
-fn main() {
+fn main() -> ExitCode {
     let sim = bench::sim();
     let mut telemetry = bench::Telemetry::new("fig01");
     let sky_core = CoreParams::skylake_like();
@@ -49,6 +51,10 @@ fn main() {
     for preset in &presets {
         let skl = results.next().expect("one result per job");
         let spr = results.next().expect("one result per job");
+        if bench::any_failed([&skl, &spr]) {
+            table.na_row(&preset.spec.name);
+            continue;
+        }
 
         let skl_frac = sky_core.branch_stall_fraction(skl.instructions, skl.mispredicts);
         let spr_frac = spr_core.branch_stall_fraction(spr.instructions, spr.mispredicts);
@@ -68,4 +74,5 @@ fn main() {
         "Fig. 1 (\u{a7}II-A): SPR has 15-60% fewer mispredictions yet a 7-45% \
          higher branch-stall fraction; CPI drops ~46%",
     );
+    bench::exit_status()
 }

@@ -1,9 +1,11 @@
 //! Fig. 4: branch MPKI of LLBP, LLBP-0Lat, 512K TSL and Inf TSL
 //! normalized to the 64K TSL baseline.
 
+use std::process::ExitCode;
+
 use bpsim::report::{f3, geomean, pct, Table};
 
-fn main() {
+fn main() -> ExitCode {
     let sim = bench::sim();
     let mut telemetry = bench::Telemetry::new("fig04");
     let mut table = Table::new(
@@ -24,9 +26,13 @@ fn main() {
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); 4];
     for preset in &presets {
         let base = results.next().expect("one result per job");
+        let runs: Vec<_> = ratios.iter().map(|_| results.next().expect("one result per job")).collect();
+        if bench::any_failed(std::iter::once(&base).chain(&runs)) {
+            table.na_row(&preset.spec.name);
+            continue;
+        }
         let mut cells = vec![preset.spec.name.clone(), f3(base.mpki())];
-        for ratio_col in &mut ratios {
-            let r = results.next().expect("one result per job");
+        for (ratio_col, r) in ratios.iter_mut().zip(&runs) {
             let ratio = r.mpki() / base.mpki();
             ratio_col.push(ratio);
             cells.push(f3(ratio));
@@ -52,4 +58,5 @@ fn main() {
         "Fig. 4 (\u{a7}II-C.5): LLBP reduces 0.6-25% (avg 8.8%), 512K TSL \
          12.7-46.1% (avg 27.5%), Inf TSL avg 32.5%",
     );
+    bench::exit_status()
 }

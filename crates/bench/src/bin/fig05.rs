@@ -9,10 +9,12 @@
 //! The idealized configurations simulate slowly, so the default runs the
 //! representative six-workload subset (override with `REPRO_WORKLOADS`).
 
+use std::process::ExitCode;
+
 use bpsim::report::{f3, geomean, pct, Table};
 use llbpx::LlbpConfig;
 
-fn main() {
+fn main() -> ExitCode {
     let sim = bench::sim();
     let mut telemetry = bench::Telemetry::new("fig05");
     type StepList = Vec<(&'static str, fn() -> LlbpConfig)>;
@@ -45,9 +47,13 @@ fn main() {
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); steps.len()];
     for preset in &presets {
         let base = results.next().expect("one result per job");
+        let runs: Vec<_> = ratios.iter().map(|_| results.next().expect("one result per job")).collect();
+        if bench::any_failed(std::iter::once(&base).chain(&runs)) {
+            table.na_row(&preset.spec.name);
+            continue;
+        }
         let mut cells = vec![preset.spec.name.clone(), f3(base.mpki())];
-        for ratio_col in &mut ratios {
-            let r = results.next().expect("one result per job");
+        for (ratio_col, r) in ratios.iter_mut().zip(&runs) {
             let ratio = r.mpki() / base.mpki();
             ratio_col.push(ratio);
             cells.push(f3(ratio));
@@ -73,4 +79,5 @@ fn main() {
         "Fig. 5 (\u{a7}III-A): tweaks 4.6%, 20b tag 1.3%, inf contexts 3.9%, \
          inf patterns 9.1%, no contextualization 4.3%",
     );
+    bench::exit_status()
 }

@@ -6,9 +6,11 @@
 //! 16-pattern set capacity (paper: 14%) and the fraction with ≤ 8 useful
 //! patterns (paper: 68%).
 
+use std::process::ExitCode;
+
 use bpsim::report::{pct, Table};
 
-fn main() {
+fn main() -> ExitCode {
     let sim = bench::sim();
     let mut telemetry = bench::Telemetry::new("fig06");
     let preset = bench::presets()
@@ -45,4 +47,5 @@ fn main() {
         pct(analysis.fraction_at_most(8))
     );
     bench::footer(&sim, "Fig. 6 (\u{a7}III-B): highly skewed useful-pattern distribution");
+    bench::exit_status()
 }

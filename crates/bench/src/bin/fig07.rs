@@ -5,9 +5,11 @@
 //! longest-history patterns (avg up to 112 bits on the left, ~17 on the
 //! right of the sorted axis).
 
+use std::process::ExitCode;
+
 use bpsim::report::{f3, mean, Table};
 
-fn main() {
+fn main() -> ExitCode {
     let sim = bench::sim();
     let mut telemetry = bench::Telemetry::new("fig07");
     let preset = bench::presets()
@@ -48,4 +50,5 @@ fn main() {
         "Fig. 7 (\u{a7}III-B): contexts with the most useful patterns hold the \
          longest-history patterns",
     );
+    bench::exit_status()
 }

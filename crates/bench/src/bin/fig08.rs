@@ -5,11 +5,13 @@
 //! contexts / unique useful patterns. Short histories duplicate most, and
 //! duplication grows with W (§III-C).
 
+use std::process::ExitCode;
+
 use bpsim::analysis::len_label;
 use bpsim::report::Table;
 use tage::NUM_TABLES;
 
-fn main() {
+fn main() -> ExitCode {
     let sim = bench::sim();
     let mut telemetry = bench::Telemetry::new("fig08");
     let preset = bench::presets()
@@ -67,4 +69,5 @@ fn main() {
         "Fig. 8 (\u{a7}III-C): short patterns duplicate most; duplication grows \
          with W (e.g. len 6: 8.5% @W=2, 10.1% @W=8, 17.2% @W=64)",
     );
+    bench::exit_status()
 }

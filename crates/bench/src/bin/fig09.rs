@@ -5,11 +5,13 @@
 //! contexts win on short history lengths (less duplication), deep contexts
 //! win on long history lengths (better spreading).
 
+use std::process::ExitCode;
+
 use bpsim::analysis::{len_label, useful_change_by_len};
 use bpsim::report::{pct, Table};
 use tage::NUM_TABLES;
 
-fn main() {
+fn main() -> ExitCode {
     let sim = bench::sim();
     let mut telemetry = bench::Telemetry::new("fig09");
     let preset = bench::presets()
@@ -67,4 +69,5 @@ fn main() {
         "Fig. 9 (\u{a7}IV): short lengths gain 63-213% with W=2; long lengths \
          gain 4.2-95% with W=64 and lose 49-74% with W=2",
     );
+    bench::exit_status()
 }

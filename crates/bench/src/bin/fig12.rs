@@ -1,9 +1,11 @@
 //! Fig. 12: MPKI reduction over 64K TSL for LLBP, LLBP-X, LLBP-X Opt-W
 //! and the idealized 512K TSL — the paper's headline accuracy result.
 
+use std::process::ExitCode;
+
 use bpsim::report::{f3, geomean, pct, Table};
 
-fn main() {
+fn main() -> ExitCode {
     let sim = bench::sim();
     let mut telemetry = bench::Telemetry::new("fig12");
     let mut table = Table::new(
@@ -30,9 +32,13 @@ fn main() {
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); 4];
     for preset in &presets {
         let base = results.next().expect("one result per job");
+        let runs: Vec<_> = ratios.iter().map(|_| results.next().expect("one result per job")).collect();
+        if bench::any_failed(std::iter::once(&base).chain(&runs)) {
+            table.na_row(&preset.spec.name);
+            continue;
+        }
         let mut cells = vec![preset.spec.name.clone(), f3(base.mpki())];
-        for ratio_col in &mut ratios {
-            let r = results.next().expect("one result per job");
+        for (ratio_col, r) in ratios.iter_mut().zip(&runs) {
             ratio_col.push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }
@@ -58,4 +64,5 @@ fn main() {
          improvement over LLBP (accuracy gain 0.8-11.5%, avg 3.6%); Opt-W \
          12.6%; 512K TSL 27.5%",
     );
+    bench::exit_status()
 }

@@ -5,10 +5,12 @@
 //! performance evaluation (their gem5 runs are impossible; here we simply
 //! honor the same subset).
 
+use std::process::ExitCode;
+
 use bpsim::report::{f3, geomean, Table};
 use bpsim::CoreParams;
 
-fn main() {
+fn main() -> ExitCode {
     let sim = bench::sim();
     let mut telemetry = bench::Telemetry::new("fig13");
     let core = CoreParams::paper_table2();
@@ -33,10 +35,15 @@ fn main() {
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); 3];
     for preset in &presets {
         let base = results.next().expect("one result per job");
+        let runs: Vec<_> =
+            speedups.iter().map(|_| results.next().expect("one result per job")).collect();
+        if bench::any_failed(std::iter::once(&base).chain(&runs)) {
+            table.na_row(&preset.spec.name);
+            continue;
+        }
         let mut cells = vec![preset.spec.name.clone()];
-        for speedup_col in &mut speedups {
-            let r = results.next().expect("one result per job");
-            let s = core.speedup(&base, &r);
+        for (speedup_col, r) in speedups.iter_mut().zip(&runs) {
+            let s = core.speedup(&base, r);
             speedup_col.push(s);
             cells.push(f3(s));
         }
@@ -64,4 +71,5 @@ fn main() {
         "Fig. 13 (\u{a7}VII-B): LLBP-X 1% avg speedup (0.08-2.7%), LLBP 0.71%, \
          ideal 512K TSL 2.4%",
     );
+    bench::exit_status()
 }

@@ -7,6 +7,8 @@
 //! mispredictions resteer — the closest this reproduction gets to the
 //! paper's gem5 runs.
 
+use std::process::ExitCode;
+
 use bpsim::exec;
 use bpsim::report::{f3, geomean, Table};
 use pipeline::{PipelineModel, PipelineParams};
@@ -36,7 +38,7 @@ fn run(design: &mut Box<dyn bpsim::SimPredictor>, spec: &workloads::WorkloadSpec
     model.run(design.as_mut(), stream)
 }
 
-fn main() {
+fn main() -> ExitCode {
     let sim = bench::sim();
     let mut telemetry = bench::Telemetry::new("fig13p");
     let mut table = Table::new(
@@ -101,4 +103,5 @@ fn main() {
         "Fig. 13 (\u{a7}VII-B), execution-driven cross-check: LLBP-X 1% avg \
          (0.08-2.7%), LLBP 0.71%, ideal 512K TSL 2.4%",
     );
+    bench::exit_status()
 }

@@ -6,10 +6,12 @@
 //! (evicted without matching a prediction). The lower bar flushes
 //! wrong-path-attributed prefetches on every misprediction.
 
+use std::process::ExitCode;
+
 use bpsim::report::{f3, mean, pct, Table};
 use llbpx::{FalsePathMode, LlbpxConfig};
 
-fn main() {
+fn main() -> ExitCode {
     let sim = bench::sim();
     let mut telemetry = bench::Telemetry::new("fig14a");
     let mut table = Table::new(
@@ -37,6 +39,10 @@ fn main() {
     for preset in &presets {
         for (mi, mode) in modes.into_iter().enumerate() {
             let r = results.next().expect("one result per job");
+            if r.is_failed() {
+                table.na_row(format!("{} ({mode:?})", preset.spec.name));
+                continue;
+            }
             let s = r.llbp.as_ref().expect("LLBP stats");
             let classified = (s.prefetch_on_time + s.prefetch_late + s.prefetch_unused).max(1);
             let on_time = s.prefetch_on_time as f64 / classified as f64;
@@ -79,4 +85,5 @@ fn main() {
          omitting false-path prefetches cuts over-prefetch 56% but costs 8% \
          coverage and 1.4% accuracy",
     );
+    bench::exit_status()
 }

@@ -6,10 +6,12 @@
 //! predictions never pay the bubble — the structural advantage §VII-C
 //! describes.
 
+use std::process::ExitCode;
+
 use bpsim::report::{f3, geomean, Table};
 use bpsim::CoreParams;
 
-fn main() {
+fn main() -> ExitCode {
     let sim = bench::sim();
     let mut telemetry = bench::Telemetry::new("fig14b");
     let core = CoreParams::paper_table2_overriding();
@@ -32,10 +34,15 @@ fn main() {
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); 2];
     for preset in &presets {
         let base = results.next().expect("one result per job");
+        let runs: Vec<_> =
+            speedups.iter().map(|_| results.next().expect("one result per job")).collect();
+        if bench::any_failed(std::iter::once(&base).chain(&runs)) {
+            table.na_row(&preset.spec.name);
+            continue;
+        }
         let mut cells = vec![preset.spec.name.clone()];
-        for speedup_col in &mut speedups {
-            let r = results.next().expect("one result per job");
-            let s = core.speedup(&base, &r);
+        for (speedup_col, r) in speedups.iter_mut().zip(&runs) {
+            let s = core.speedup(&base, r);
             speedup_col.push(s);
             cells.push(f3(s));
         }
@@ -58,4 +65,5 @@ fn main() {
         "Fig. 14b (\u{a7}VII-C): with overriding, 128K TSL gains 0.6% while \
          LLBP-X gains 1.4% over 64K TSL",
     );
+    bench::exit_status()
 }

@@ -1,9 +1,11 @@
 //! Fig. 15a: pattern-store transfer bandwidth (bits per instruction) of
 //! LLBP vs LLBP-X, split into reads and writes (288-bit transactions).
 
+use std::process::ExitCode;
+
 use bpsim::report::{f3, mean, pct, Table};
 
-fn main() {
+fn main() -> ExitCode {
     let sim = bench::sim();
     let mut telemetry = bench::Telemetry::new("fig15a");
     let mut table = Table::new(
@@ -22,6 +24,10 @@ fn main() {
     for preset in &presets {
         let rl = results.next().expect("one result per job");
         let rx = results.next().expect("one result per job");
+        if bench::any_failed([&rl, &rx]) {
+            table.na_row(&preset.spec.name);
+            continue;
+        }
         let (lr, lw) = rl
             .llbp
             .as_ref()
@@ -54,4 +60,5 @@ fn main() {
         "Fig. 15a (\u{a7}VII-D): reads dominate (writes ~1/5); LLBP-X moves 9.9 \
          bits/instr vs LLBP's 10.6 (-6.1%)",
     );
+    bench::exit_status()
 }

@@ -4,10 +4,12 @@
 //! frequency — PB every prediction, CD/CTT per unconditional branch,
 //! pattern store per 288-bit transaction.
 
+use std::process::ExitCode;
+
 use bpsim::energy::EnergyModel;
 use bpsim::report::{pct, Table};
 
-fn main() {
+fn main() -> ExitCode {
     let sim = bench::sim();
     let mut telemetry = bench::Telemetry::new("fig15b");
     let mut table = Table::new(
@@ -26,6 +28,10 @@ fn main() {
     for preset in &presets {
         let rl = results.next().expect("one result per job");
         let rx = results.next().expect("one result per job");
+        if bench::any_failed([&rl, &rx]) {
+            table.na_row(&preset.spec.name);
+            continue;
+        }
         let sl = rl.llbp.as_ref().expect("LLBP stats");
         let sx = rx.llbp.as_ref().expect("LLBP-X stats");
 
@@ -53,4 +59,5 @@ fn main() {
         "Fig. 15b (\u{a7}VII-D): LLBP-X saves 5.4% pattern-store access energy, \
          the CTT adds 5.2%, net +1.5% over LLBP",
     );
+    bench::exit_status()
 }

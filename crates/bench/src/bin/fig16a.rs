@@ -2,10 +2,12 @@
 //! over 64K TSL when sweeping from 8K to 128K contexts (0-latency model,
 //! as in the paper's §VII-G).
 
+use std::process::ExitCode;
+
 use bpsim::report::{geomean, pct, Table};
 use llbpx::LlbpxConfig;
 
-fn main() {
+fn main() -> ExitCode {
     let sim = bench::sim();
     let mut telemetry = bench::Telemetry::new("fig16a");
     // Contexts = 2^log2_sets × 7 ways. The paper sweeps 8K..128K around
@@ -42,9 +44,13 @@ fn main() {
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); sweeps.len()];
     for preset in &presets {
         let base = results.next().expect("one result per job");
+        let runs: Vec<_> = ratios.iter().map(|_| results.next().expect("one result per job")).collect();
+        if bench::any_failed(std::iter::once(&base).chain(&runs)) {
+            table.na_row(&preset.spec.name);
+            continue;
+        }
         let mut cells = vec![preset.spec.name.clone()];
-        for ratio_col in &mut ratios {
-            let r = results.next().expect("one result per job");
+        for (ratio_col, r) in ratios.iter_mut().zip(&runs) {
             ratio_col.push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }
@@ -61,4 +67,5 @@ fn main() {
         "Fig. 16a (\u{a7}VII-G): MPKI reduction grows from 10.5% (8K contexts) \
          to 17.6% (128K contexts)",
     );
+    bench::exit_status()
 }

@@ -2,11 +2,13 @@
 //! relative to the *corresponding* baseline TSL, sweeping the TAGE from
 //! 8K to 64K entries-per-table equivalents (§VII-G).
 
+use std::process::ExitCode;
+
 use bpsim::report::{geomean, pct, Table};
 use llbpx::LlbpxConfig;
 use tage::TslConfig;
 
-fn main() {
+fn main() -> ExitCode {
     let sim = bench::sim();
     let mut telemetry = bench::Telemetry::new("fig16b");
     let sizes: &[u32] = &[8, 16, 32, 64];
@@ -38,10 +40,15 @@ fn main() {
 
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
     for preset in &presets {
+        let all: Vec<_> =
+            (0..2 * sizes.len()).map(|_| results.next().expect("one result per job")).collect();
+        if bench::any_failed(&all) {
+            table.na_row(&preset.spec.name);
+            continue;
+        }
         let mut cells = vec![preset.spec.name.clone()];
-        for ratio_col in &mut ratios {
-            let base = results.next().expect("one result per job");
-            let r = results.next().expect("one result per job");
+        for (ratio_col, pair) in ratios.iter_mut().zip(all.chunks(2)) {
+            let (base, r) = (&pair[0], &pair[1]);
             ratio_col.push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }
@@ -58,4 +65,5 @@ fn main() {
         "Fig. 16b (\u{a7}VII-G): LLBP-X stays effective over smaller baselines \
          (2.6% reduction even with a 4x smaller 16K TSL)",
     );
+    bench::exit_status()
 }

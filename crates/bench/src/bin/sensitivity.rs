@@ -1,9 +1,11 @@
 //! §VII-F: sensitivity of LLBP-X to the H_th threshold and the CTT size.
 
+use std::process::ExitCode;
+
 use bpsim::report::{geomean, pct, Table};
 use llbpx::LlbpxConfig;
 
-fn main() {
+fn main() -> ExitCode {
     let sim = bench::sim();
     let mut telemetry = bench::Telemetry::new("sensitivity");
     let presets = bench::representative_presets();
@@ -32,9 +34,14 @@ fn main() {
     let mut h_ratios: Vec<Vec<f64>> = vec![Vec::new(); h_ths.len()];
     for preset in &presets {
         let base = results.next().expect("one result per job");
+        let runs: Vec<_> =
+            h_ratios.iter().map(|_| results.next().expect("one result per job")).collect();
+        if bench::any_failed(std::iter::once(&base).chain(&runs)) {
+            table.na_row(&preset.spec.name);
+            continue;
+        }
         let mut cells = vec![preset.spec.name.clone()];
-        for ratio_col in &mut h_ratios {
-            let r = results.next().expect("one result per job");
+        for (ratio_col, r) in h_ratios.iter_mut().zip(&runs) {
             ratio_col.push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }
@@ -71,9 +78,14 @@ fn main() {
     let mut c_ratios: Vec<Vec<f64>> = vec![Vec::new(); ctt_sizes.len()];
     for preset in &presets {
         let base = results.next().expect("one result per job");
+        let runs: Vec<_> =
+            c_ratios.iter().map(|_| results.next().expect("one result per job")).collect();
+        if bench::any_failed(std::iter::once(&base).chain(&runs)) {
+            table.na_row(&preset.spec.name);
+            continue;
+        }
         let mut cells = vec![preset.spec.name.clone()];
-        for ratio_col in &mut c_ratios {
-            let r = results.next().expect("one result per job");
+        for (ratio_col, r) in c_ratios.iter_mut().zip(&runs) {
             ratio_col.push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }
@@ -91,4 +103,5 @@ fn main() {
         "\u{a7}VII-F: best H_th = 232 (13.6% vs 12.2% at 1444); CTT saturates \
          at 6K entries (13.6% vs 12.8% at 4K)",
     );
+    bench::exit_status()
 }

@@ -3,9 +3,11 @@
 //! Regenerates the paper's Table I (absolute MPKI of the baseline 64 KiB
 //! TAGE-SC-L on every workload; paper range 0.26-5.38, average 2.92).
 
+use std::process::ExitCode;
+
 use bpsim::report::{f3, mean, Table};
 
-fn main() {
+fn main() -> ExitCode {
     let sim = bench::sim();
     let mut telemetry = bench::Telemetry::new("table1");
     let mut table = Table::new(
@@ -18,10 +20,15 @@ fn main() {
 
     let mut measured = Vec::new();
     for (preset, result) in presets.iter().zip(&results) {
+        if result.is_failed() {
+            table.na_row(&preset.spec.name);
+            continue;
+        }
         measured.push(result.mpki());
         table.row(&[preset.spec.name.clone(), f3(result.mpki()), f3(preset.paper_mpki)]);
     }
     table.row(&["average".into(), f3(mean(measured)), "2.92".into()]);
     print!("{}", table.render());
     bench::footer(&sim, "Table I (\u{a7}VI): absolute MPKI 0.26-5.38, avg 2.92");
+    bench::exit_status()
 }

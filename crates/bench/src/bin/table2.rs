@@ -5,11 +5,13 @@
 //! prints both the paper's configuration (for the record) and the model
 //! parameters derived from it.
 
+use std::process::ExitCode;
+
 use bpsim::report::Table;
 use bpsim::CoreParams;
 use tage::DirectionPredictor;
 
-fn main() {
+fn main() -> ExitCode {
     let mut table = Table::new(
         "Table II — parameters of the simulated processor (paper)",
         &["component", "configuration"],
@@ -54,4 +56,5 @@ fn main() {
     telemetry.emit();
     print!("{}", budgets.render());
     println!("\npaper reference: Table II (\u{a7}VI)");
+    bench::exit_status()
 }

@@ -18,6 +18,8 @@
 //! `BENCH_<name>.json`).
 
 use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -34,6 +36,34 @@ use workloads::WorkloadSpec;
 /// Process start anchor, set by the first [`sim`] call; [`footer`] reports
 /// elapsed wall time against it.
 static STARTED: OnceLock<Instant> = OnceLock::new();
+
+/// Matrix cells that failed (panicked) across this invocation's matrices;
+/// [`exit_status`] turns a non-zero count into a failing exit code.
+static FAILED_CELLS: AtomicUsize = AtomicUsize::new(0);
+
+/// Matrix cells restored from the `LLBPX_CHECKPOINT` journal instead of
+/// simulated in this invocation.
+static RESUMED_CELLS: AtomicUsize = AtomicUsize::new(0);
+
+/// The exit code a binary's `main` should return: success when every
+/// matrix cell completed, failure (with a stderr summary) when any cell
+/// failed. Failed cells still render as `n/a` rows, so one bad cell never
+/// hides the rest of a figure — but it must not exit 0 either.
+pub fn exit_status() -> ExitCode {
+    let failed = FAILED_CELLS.load(Ordering::Relaxed);
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: {failed} matrix cell(s) failed; see the n/a rows above");
+        ExitCode::FAILURE
+    }
+}
+
+/// Whether any of `results` is a failed cell — binaries guard per-preset
+/// ratio math with this and emit an `n/a` row instead.
+pub fn any_failed<'a>(results: impl IntoIterator<Item = &'a RunResult>) -> bool {
+    results.into_iter().any(RunResult::is_failed)
+}
 
 /// The simulation protocol for this invocation (env-scaled).
 pub fn sim() -> Simulation {
@@ -158,12 +188,23 @@ pub fn run_matrix(
 ) -> Vec<RunResult> {
     let report = exec::run_matrix(sim, jobs);
     telemetry.record_engine(&report);
+    FAILED_CELLS.fetch_add(report.failed_cells(), Ordering::Relaxed);
+    RESUMED_CELLS.fetch_add(report.resumed_cells(), Ordering::Relaxed);
     report
         .outputs
         .into_iter()
-        .map(|mut output| {
-            telemetry.record_run(&mut output.result, sim, Some(output.storage_bits));
-            output.result
+        .map(|output| match output {
+            Ok(mut output) => {
+                telemetry.record_run(&mut output.result, sim, Some(output.storage_bits));
+                output.result
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
+                let mut result =
+                    RunResult::failed(err.predictor, &err.workload, err.message);
+                telemetry.record_run(&mut result, sim, None);
+                result
+            }
         })
         .collect()
 }
@@ -264,11 +305,14 @@ impl Telemetry {
             return;
         }
         let mut rec = result.take_record(sim);
-        let core = CoreParams::paper_table2();
-        rec.extra.push((
-            "cpi".to_owned(),
-            Json::Num(core.cpi(result.instructions, result.mispredicts, 0)),
-        ));
+        // A failed cell ran zero instructions; its CPI is meaningless.
+        if !result.is_failed() {
+            let core = CoreParams::paper_table2();
+            rec.extra.push((
+                "cpi".to_owned(),
+                Json::Num(core.cpi(result.instructions, result.mispredicts, 0)),
+            ));
+        }
         if let Some(bits) = storage_bits {
             rec.extra.push(("storage_bits".to_owned(), Json::from(bits)));
         }
@@ -319,6 +363,14 @@ impl Telemetry {
         if !self.extra.iter().any(|(k, _)| k == "threads") {
             line = line.set("threads", exec::threads_from_env() as u64);
         }
+        let failed = FAILED_CELLS.load(Ordering::Relaxed);
+        if failed > 0 {
+            line = line.set("failed_cells", failed as u64);
+        }
+        let resumed = RESUMED_CELLS.load(Ordering::Relaxed);
+        if resumed > 0 {
+            line = line.set("resumed_cells", resumed as u64);
+        }
         for (k, v) in &self.extra {
             line = line.set(k.as_str(), v.clone());
         }
@@ -354,6 +406,12 @@ pub fn footer(sim: &Simulation, paper_ref: &str) {
             exec::threads_from_env(),
             started.elapsed().as_secs_f64()
         );
+    }
+    // Stderr, not stdout: a resumed run's tables must stay byte-identical
+    // to an uninterrupted run's.
+    let resumed = RESUMED_CELLS.load(Ordering::Relaxed);
+    if resumed > 0 {
+        eprintln!("checkpoint: {resumed} cell(s) restored from the LLBPX_CHECKPOINT journal");
     }
     println!("paper reference: {paper_ref}");
 }

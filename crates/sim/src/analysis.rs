@@ -73,7 +73,11 @@ pub fn analyze_contexts(spec: &WorkloadSpec, w: usize, sim: &Simulation) -> Cont
     let cfg = LlbpConfig::with_infinite_patterns().with_w(w).with_analysis();
     let mut predictor = Llbp::new(cfg);
     let result = sim.run(&mut predictor, spec);
+    // Invariants by construction: the predictor was built two lines up as
+    // an LLBP with analysis enabled.
+    #[allow(clippy::expect_used)]
     let stats = result.llbp.as_ref().expect("LLBP run carries stats");
+    #[allow(clippy::expect_used)]
     let analysis = stats.analysis.clone().expect("analysis was enabled");
 
     let contexts = analysis

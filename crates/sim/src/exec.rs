@@ -1,5 +1,6 @@
 //! The parallel experiment engine: fans a run matrix out over worker
-//! threads and shares materialized workload traces between runs.
+//! threads, shares materialized workload traces between runs, isolates
+//! per-cell failures, and journals completed cells to a checkpoint.
 //!
 //! Every figure/table binary replays the paper's protocol as a *matrix* of
 //! `(predictor, workload)` cells. The cells are embarrassingly parallel and
@@ -11,10 +12,24 @@
 //!   back in job order, bit-identical to running them serially;
 //! * [`materialize`] — generates one workload's branch stream once into an
 //!   `Arc<[BranchRecord]>` so every predictor on that workload replays the
-//!   identical records read-only instead of re-synthesizing them;
+//!   identical records read-only instead of re-synthesizing them (with
+//!   [`try_materialize`] validating every generated record structurally);
 //! * [`run_matrix`] — the two combined, with a memory cap
 //!   (`LLBPX_TRACE_CACHE_MB`) that falls back to per-job streaming for
 //!   budgets too large to materialize (e.g. paper-protocol limit studies).
+//!
+//! Robustness, on top of that:
+//!
+//! * **Job isolation** — each matrix cell runs under `catch_unwind`, so a
+//!   panicking cell becomes an `Err(`[`JobError`]`)` in the report instead
+//!   of aborting the whole sweep; every other cell still completes.
+//!   `LLBPX_FAULT_CELL=<index>` deliberately panics one cell, to exercise
+//!   this path end-to-end.
+//! * **Checkpoint/resume** — with `LLBPX_CHECKPOINT=<path>` set, every
+//!   completed cell is journaled (keyed by a deterministic fingerprint of
+//!   predictor config, workload spec and budgets); re-running after a
+//!   crash or kill restores journaled cells bit-identically and simulates
+//!   only the rest. See [`crate::checkpoint`].
 //!
 //! Telemetry stays correct under concurrency because every per-run source
 //! is job-local: the scope profiler is thread-local and snapshotted around
@@ -24,15 +39,19 @@
 //! wall time, so summing it across overlapping runs exceeds the binary's
 //! elapsed time — coordinators report elapsed time separately.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
-use traces::{BranchRecord, BranchStream, SharedTrace};
+use traces::{BranchRecord, BranchStream, SharedTrace, StreamValidator};
 use workloads::{ServerWorkload, WorkloadSpec};
 
+use crate::checkpoint::{self, Checkpoint};
+use crate::env::env_parse_or_warn;
+use crate::error::{panic_message, JobError, SimError};
 use crate::predictor::SimPredictor;
-use crate::runner::{RunResult, Simulation};
+use crate::runner::{RunResult, Simulation, TraceSource};
 
 /// Environment variable selecting the worker count (default: available
 /// parallelism).
@@ -42,6 +61,11 @@ pub const ENV_THREADS: &str = "LLBPX_THREADS";
 /// (default [`DEFAULT_TRACE_CACHE_MB`]; `0` disables materialization).
 pub const ENV_TRACE_CACHE_MB: &str = "LLBPX_TRACE_CACHE_MB";
 
+/// Environment variable naming one zero-based matrix cell to deliberately
+/// panic, for exercising the failure-isolation path end-to-end (tests,
+/// `scripts/verify.sh`).
+pub const ENV_FAULT_CELL: &str = "LLBPX_FAULT_CELL";
+
 /// Default trace-cache cap: 3 GiB covers the 14-preset matrix at the
 /// laptop-scale default budgets; paper-scale budgets overflow it and
 /// stream instead.
@@ -49,26 +73,15 @@ pub const DEFAULT_TRACE_CACHE_MB: u64 = 3072;
 
 /// The worker count: `LLBPX_THREADS` if set to a positive integer,
 /// otherwise the machine's available parallelism. An unparsable value
-/// warns on stderr and uses the default, like the `REPRO_*` budgets.
+/// warns once on stderr and uses the default, like the `REPRO_*` budgets.
 pub fn threads_from_env() -> usize {
-    match std::env::var(ENV_THREADS) {
-        Ok(raw) => match raw.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => {
-                // A binary resolves the thread count more than once (engine
-                // + record emission); warn only the first time.
-                static WARNED: std::sync::Once = std::sync::Once::new();
-                WARNED.call_once(|| {
-                    eprintln!(
-                        "warning: {ENV_THREADS}={raw:?} is not a positive thread count; \
-                         using available parallelism"
-                    )
-                });
-                default_threads()
-            }
-        },
-        Err(_) => default_threads(),
-    }
+    env_parse_or_warn(
+        ENV_THREADS,
+        "a positive thread count",
+        "using available parallelism",
+        |raw| raw.parse::<usize>().ok().filter(|&n| n >= 1),
+        default_threads,
+    )
 }
 
 fn default_threads() -> usize {
@@ -77,20 +90,25 @@ fn default_threads() -> usize {
 
 /// The trace-cache cap in bytes, from [`ENV_TRACE_CACHE_MB`].
 pub fn trace_cache_bytes_from_env() -> u64 {
-    let mb = match std::env::var(ENV_TRACE_CACHE_MB) {
-        Ok(raw) => match raw.trim().parse::<u64>() {
-            Ok(n) => n,
-            Err(_) => {
-                eprintln!(
-                    "warning: {ENV_TRACE_CACHE_MB}={raw:?} is not a size in MiB; \
-                     using the default cap"
-                );
-                DEFAULT_TRACE_CACHE_MB
-            }
-        },
-        Err(_) => DEFAULT_TRACE_CACHE_MB,
-    };
-    mb.saturating_mul(1024 * 1024)
+    env_parse_or_warn(
+        ENV_TRACE_CACHE_MB,
+        "a size in MiB",
+        "using the default cap",
+        |raw| raw.parse::<u64>().ok(),
+        || DEFAULT_TRACE_CACHE_MB,
+    )
+    .saturating_mul(1024 * 1024)
+}
+
+/// The deliberately-faulted cell index from [`ENV_FAULT_CELL`], if any.
+pub fn fault_cell_from_env() -> Option<usize> {
+    env_parse_or_warn(
+        ENV_FAULT_CELL,
+        "a zero-based cell index",
+        "ignoring it",
+        |raw| raw.parse::<usize>().ok().map(Some),
+        || None,
+    )
 }
 
 /// A boxed unit of work for [`run_jobs`].
@@ -110,6 +128,9 @@ pub fn run_jobs<T: Send>(jobs: Vec<BoxedJob<'_, T>>) -> Vec<T> {
 /// of its index — so the output order (and, for deterministic jobs, every
 /// output bit) is independent of the thread count. `threads <= 1` runs the
 /// jobs serially on the calling thread with no spawning at all.
+///
+/// A panicking job propagates (aborting the scope); for isolated matrix
+/// cells use [`run_matrix`], which wraps each cell in `catch_unwind`.
 pub fn run_jobs_with<T: Send>(threads: usize, jobs: Vec<BoxedJob<'_, T>>) -> Vec<T> {
     let n = jobs.len();
     let threads = threads.max(1).min(n);
@@ -129,49 +150,76 @@ pub fn run_jobs_with<T: Send>(threads: usize, jobs: Vec<BoxedJob<'_, T>>) -> Vec
                 if i >= n {
                     break;
                 }
-                let job = queue[i].lock().unwrap().take().expect("each job is claimed once");
+                let claimed =
+                    queue[i].lock().unwrap_or_else(PoisonError::into_inner).take();
+                let Some(job) = claimed else {
+                    unreachable!("each job is claimed exactly once");
+                };
                 let result = job();
-                *slots[i].lock().unwrap() = Some(result);
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
             });
         }
     });
 
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().unwrap().expect("scope joined every worker"))
+        .map(|slot| match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            Some(result) => result,
+            None => unreachable!("scope joined every worker"),
+        })
         .collect()
 }
 
 /// Materializes the branch stream of `spec` into shared read-only storage
-/// covering at least `instructions` of simulation, or `None` if doing so
-/// would exceed `cap_bytes`.
+/// covering at least `instructions` of simulation, validating every record
+/// structurally on the way in.
+///
+/// Returns `Ok(None)` when materializing would exceed `cap_bytes` or the
+/// stream ends early (callers fall back to per-job streaming), and an
+/// error when the spec is invalid or the generator emits a structurally
+/// corrupt record — a corrupt shared trace would poison every cell that
+/// replays it, so it is rejected before any cell runs.
 ///
 /// The trace is generated past the requested budget by twice the largest
 /// record seen, which provably covers the runner's boundary overshoot (the
 /// warmup and measurement loops each run their crossing record to
 /// completion), so replaying the result is bit-identical to streaming the
 /// generator — same records, same order, same stopping point.
-pub fn materialize(
+pub fn try_materialize(
     spec: &WorkloadSpec,
     instructions: u64,
     cap_bytes: u64,
-) -> Option<Arc<[BranchRecord]>> {
+) -> Result<Option<Arc<[BranchRecord]>>, SimError> {
     let _t = telemetry::scope("workload::materialize");
     let record_bytes = std::mem::size_of::<BranchRecord>() as u64;
-    let mut stream = ServerWorkload::new(spec);
+    let mut stream = ServerWorkload::try_new(spec)
+        .map_err(|reason| SimError::InvalidSpec { workload: spec.name.clone(), reason })?;
+    let mut validator = StreamValidator::new();
     let mut records: Vec<BranchRecord> = Vec::new();
     let mut generated = 0u64;
     let mut largest = 1u64;
     while generated < instructions.saturating_add(2 * largest) {
         if (records.len() as u64 + 1) * record_bytes > cap_bytes {
-            return None;
+            return Ok(None);
         }
-        let rec = stream.next_branch()?;
+        let Some(rec) = stream.next_branch() else { return Ok(None) };
+        validator
+            .check(&rec)
+            .map_err(|defect| SimError::Trace { workload: spec.name.clone(), defect })?;
         generated += rec.instructions();
         largest = largest.max(rec.instructions());
         records.push(rec);
     }
-    Some(records.into())
+    Ok(Some(records.into()))
+}
+
+/// [`try_materialize`], panicking on invalid specs or corrupt streams.
+pub fn materialize(
+    spec: &WorkloadSpec,
+    instructions: u64,
+    cap_bytes: u64,
+) -> Option<Arc<[BranchRecord]>> {
+    try_materialize(spec, instructions, cap_bytes).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// One cell of a run matrix: a predictor factory plus the workload it runs
@@ -197,6 +245,7 @@ impl<'a> MatrixJob<'a> {
 }
 
 /// One finished matrix cell.
+#[derive(Debug, Clone)]
 pub struct MatrixOutput {
     /// The run itself (headline metrics plus telemetry sections).
     pub result: RunResult,
@@ -220,37 +269,90 @@ pub struct TraceCacheStats {
     pub generation_seconds: f64,
 }
 
-/// A completed run matrix: per-cell outputs in job order plus engine
+/// A completed run matrix: per-cell outcomes in job order plus engine
 /// bookkeeping for the coordinator's telemetry record.
 pub struct MatrixReport {
-    /// Per-job outputs, in the order the jobs were submitted.
-    pub outputs: Vec<MatrixOutput>,
+    /// Per-job outcomes, in the order the jobs were submitted. A cell that
+    /// panicked is an `Err` carrying the captured message; every other
+    /// cell completed normally.
+    pub outputs: Vec<Result<MatrixOutput, JobError>>,
     /// Worker threads actually used.
     pub threads: usize,
     /// Shared-trace cache behavior.
     pub cache: TraceCacheStats,
 }
 
-/// Runs a matrix with the environment-selected thread count and trace
-/// cache cap. See [`run_matrix_with`].
-pub fn run_matrix(sim: &Simulation, jobs: Vec<MatrixJob<'_>>) -> MatrixReport {
-    run_matrix_with(sim, jobs, threads_from_env(), trace_cache_bytes_from_env())
+impl MatrixReport {
+    /// The failed cells, in job order.
+    pub fn failures(&self) -> impl Iterator<Item = &JobError> {
+        self.outputs.iter().filter_map(|o| o.as_ref().err())
+    }
+
+    /// How many cells failed.
+    pub fn failed_cells(&self) -> usize {
+        self.failures().count()
+    }
+
+    /// How many cells were restored from the checkpoint journal instead of
+    /// simulated in this invocation.
+    pub fn resumed_cells(&self) -> usize {
+        self.outputs
+            .iter()
+            .filter(|o| matches!(o, Ok(out) if out.result.resumed))
+            .count()
+    }
 }
 
-/// Runs every `(predictor factory, workload)` job under `sim`, fanning out
-/// over at most `threads` workers, and returns the results in job order —
-/// bit-identical to running the same cells serially via [`Simulation::run`].
-///
-/// Each distinct spec shared by two or more jobs is materialized once
-/// (within `cap_bytes` across all specs) and replayed read-only by every
-/// job on that workload; single-job specs and cap overflow stream from the
-/// generator exactly as the serial path does. Both paths produce the same
-/// records in the same order, so accuracy never depends on which one ran.
+/// Runs a matrix with the environment-selected thread count, trace cache
+/// cap, checkpoint journal ([`crate::checkpoint::ENV_CHECKPOINT`]) and
+/// fault cell ([`ENV_FAULT_CELL`]). See [`run_matrix_opts`].
+pub fn run_matrix(sim: &Simulation, jobs: Vec<MatrixJob<'_>>) -> MatrixReport {
+    run_matrix_opts(
+        sim,
+        jobs,
+        threads_from_env(),
+        trace_cache_bytes_from_env(),
+        Checkpoint::from_env().map(Arc::new),
+        fault_cell_from_env(),
+    )
+}
+
+/// Runs a matrix with explicit thread count and cache cap, no checkpoint
+/// and no fault injection. See [`run_matrix_opts`].
 pub fn run_matrix_with(
     sim: &Simulation,
     jobs: Vec<MatrixJob<'_>>,
     threads: usize,
     cap_bytes: u64,
+) -> MatrixReport {
+    run_matrix_opts(sim, jobs, threads, cap_bytes, None, None)
+}
+
+/// Runs every `(predictor factory, workload)` job under `sim`, fanning out
+/// over at most `threads` workers, and returns the outcomes in job order —
+/// completed cells bit-identical to running the same cells serially via
+/// [`Simulation::run`].
+///
+/// Each distinct spec shared by two or more jobs is materialized once
+/// (within `cap_bytes` across all specs) and replayed read-only by every
+/// job on that workload; single-job specs and cap overflow stream from the
+/// generator exactly as the serial path does. Both paths produce the same
+/// records in the same order, so accuracy never depends on which one ran —
+/// the one that did is attributed per run in [`RunResult::trace_source`].
+///
+/// Each cell runs under `catch_unwind`: a panic (in the factory or the
+/// run) yields `Err(JobError)` for that cell and every other cell still
+/// completes. With a `checkpoint`, completed cells are journaled under
+/// their deterministic fingerprint and cells already in the journal are
+/// restored (marked `resumed`) instead of simulated. `fault_cell`
+/// deliberately panics the cell of that index.
+pub fn run_matrix_opts(
+    sim: &Simulation,
+    jobs: Vec<MatrixJob<'_>>,
+    threads: usize,
+    cap_bytes: u64,
+    checkpoint: Option<Arc<Checkpoint>>,
+    fault_cell: Option<usize>,
 ) -> MatrixReport {
     let budget = sim.warmup_instructions.saturating_add(sim.measure_instructions);
     let mut cache: Vec<(WorkloadSpec, Option<Arc<[BranchRecord]>>)> = Vec::new();
@@ -264,8 +366,21 @@ pub fn run_matrix_with(
         }
         let sharers = jobs.iter().filter(|j| j.spec == job.spec).count();
         let remaining = cap_bytes.saturating_sub(stats.cached_bytes);
-        let trace =
-            if sharers >= 2 { materialize(&job.spec, budget, remaining) } else { None };
+        let trace = if sharers >= 2 {
+            match try_materialize(&job.spec, budget, remaining) {
+                Ok(trace) => trace,
+                Err(e) => {
+                    // A spec the engine cannot materialize still gets its
+                    // cells run (and individually isolated) on the
+                    // streaming path, where the same failure surfaces as
+                    // per-cell JobErrors instead of one global abort.
+                    eprintln!("warning: {e}; streaming workload `{}`", job.spec.name);
+                    None
+                }
+            }
+        } else {
+            None
+        };
         match &trace {
             Some(t) => {
                 stats.specs_cached += 1;
@@ -278,27 +393,74 @@ pub fn run_matrix_with(
     }
     stats.generation_seconds = generation_started.elapsed().as_secs_f64();
 
-    let boxed: Vec<BoxedJob<'_, MatrixOutput>> = jobs
+    let boxed: Vec<BoxedJob<'_, Result<MatrixOutput, JobError>>> = jobs
         .into_iter()
-        .map(|job| {
+        .enumerate()
+        .map(|(index, job)| {
             let trace = cache
                 .iter()
                 .find(|(spec, _)| *spec == job.spec)
                 .and_then(|(_, trace)| trace.clone());
             let sim = *sim;
+            let checkpoint = checkpoint.clone();
             let MatrixJob { factory, spec } = job;
             Box::new(move || {
-                let mut predictor = factory();
+                let mut predictor =
+                    match std::panic::catch_unwind(AssertUnwindSafe(factory)) {
+                        Ok(predictor) => predictor,
+                        Err(payload) => {
+                            return Err(JobError {
+                                index,
+                                workload: spec.name.clone(),
+                                predictor: None,
+                                fingerprint: None,
+                                message: panic_message(payload),
+                            })
+                        }
+                    };
+                let name = predictor.name();
                 let storage_bits = predictor.storage_bits();
-                let result = match trace {
-                    Some(records) => {
-                        let mut replay = SharedTrace::new(records);
-                        sim.run_stream(predictor.as_mut(), &mut replay, &spec.name)
+                let fingerprint =
+                    checkpoint::job_fingerprint(index, &name, storage_bits, &spec, &sim);
+                if let Some(cell) =
+                    checkpoint.as_deref().and_then(|cp| cp.lookup(&fingerprint))
+                {
+                    return Ok(MatrixOutput {
+                        result: cell.result,
+                        storage_bits: cell.storage_bits,
+                    });
+                }
+                let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    if fault_cell == Some(index) {
+                        panic!("deliberate fault injected by {ENV_FAULT_CELL}={index}");
                     }
-                    None => sim.run(predictor.as_mut(), &spec),
-                };
-                MatrixOutput { result, storage_bits }
-            }) as BoxedJob<'_, MatrixOutput>
+                    match &trace {
+                        Some(records) => {
+                            let mut replay = SharedTrace::new(records.clone());
+                            let mut result =
+                                sim.run_stream(predictor.as_mut(), &mut replay, &spec.name);
+                            result.trace_source = TraceSource::Materialized;
+                            result
+                        }
+                        None => sim.run(predictor.as_mut(), &spec),
+                    }
+                }));
+                match run {
+                    Ok(result) => {
+                        if let Some(cp) = checkpoint.as_deref() {
+                            cp.record(&fingerprint, &result, storage_bits);
+                        }
+                        Ok(MatrixOutput { result, storage_bits })
+                    }
+                    Err(payload) => Err(JobError {
+                        index,
+                        workload: spec.name.clone(),
+                        predictor: Some(name),
+                        fingerprint: Some(fingerprint),
+                        message: panic_message(payload),
+                    }),
+                }
+            }) as BoxedJob<'_, Result<MatrixOutput, JobError>>
         })
         .collect();
 
@@ -312,6 +474,7 @@ mod tests {
     use super::*;
     use crate::runner::compare;
     use llbpx::{Llbp, LlbpConfig};
+    use std::path::PathBuf;
     use tage::{TageScl, TslConfig};
 
     fn tiny_spec(name: &str, seed: u64) -> WorkloadSpec {
@@ -320,6 +483,10 @@ mod tests {
 
     fn tiny_sim() -> Simulation {
         Simulation { warmup_instructions: 60_000, measure_instructions: 150_000 }
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("llbpx-exec-{tag}-{}.jsonl", std::process::id()))
     }
 
     #[test]
@@ -368,6 +535,30 @@ mod tests {
     }
 
     #[test]
+    fn try_materialize_rejects_invalid_specs_structurally() {
+        let bad = WorkloadSpec::new("bad", 1).with_request_types(0);
+        match try_materialize(&bad, 1_000, u64::MAX) {
+            Err(SimError::InvalidSpec { workload, .. }) => assert_eq!(workload, "bad"),
+            other => panic!("expected InvalidSpec, got {:?}", other.map(|t| t.is_some())),
+        }
+    }
+
+    fn standard_jobs<'a>(specs: &'a [WorkloadSpec]) -> Vec<MatrixJob<'a>> {
+        let mut jobs = Vec::new();
+        for spec in specs {
+            jobs.push(MatrixJob::new(
+                || Box::new(TageScl::new(TslConfig::kilobytes(64))) as Box<dyn SimPredictor>,
+                spec,
+            ));
+            jobs.push(MatrixJob::new(
+                || Box::new(Llbp::new(LlbpConfig::paper_baseline())) as Box<dyn SimPredictor>,
+                spec,
+            ));
+        }
+        jobs
+    }
+
+    #[test]
     fn matrix_matches_serial_compare_at_every_thread_count() {
         let sim = tiny_sim();
         let specs = [tiny_spec("a", 3), tiny_spec("b", 4)];
@@ -385,20 +576,11 @@ mod tests {
 
         for threads in [1usize, 4] {
             for cap in [0u64, u64::MAX] {
-                let mut jobs = Vec::new();
-                for spec in &specs {
-                    jobs.push(MatrixJob::new(
-                        || Box::new(TageScl::new(TslConfig::kilobytes(64))) as Box<dyn SimPredictor>,
-                        spec,
-                    ));
-                    jobs.push(MatrixJob::new(
-                        || Box::new(Llbp::new(LlbpConfig::paper_baseline())) as Box<dyn SimPredictor>,
-                        spec,
-                    ));
-                }
-                let report = run_matrix_with(&sim, jobs, threads, cap);
+                let report = run_matrix_with(&sim, standard_jobs(&specs), threads, cap);
                 assert_eq!(report.outputs.len(), serial.len());
+                assert_eq!(report.failed_cells(), 0);
                 for (parallel, serial) in report.outputs.iter().zip(&serial) {
+                    let parallel = parallel.as_ref().expect("no cell fails");
                     assert_eq!(parallel.result.name, serial.name);
                     assert_eq!(parallel.result.workload, serial.workload);
                     assert_eq!(parallel.result.instructions, serial.instructions);
@@ -409,6 +591,15 @@ mod tests {
                     );
                     assert_eq!(parallel.result.intervals, serial.intervals);
                     assert!(parallel.storage_bits > 0);
+                    // Satellite: per-run trace attribution follows the path
+                    // that actually ran, not the global engine config.
+                    let expected = if cap == 0 {
+                        TraceSource::Streamed
+                    } else {
+                        TraceSource::Materialized
+                    };
+                    assert_eq!(parallel.result.trace_source, expected);
+                    assert!(!parallel.result.resumed);
                 }
                 if cap == u64::MAX {
                     assert_eq!(report.cache.specs_cached, 2);
@@ -436,11 +627,119 @@ mod tests {
         ];
         let report = run_matrix_with(&sim, jobs, 4, u64::MAX);
         for output in &report.outputs {
+            let output = output.as_ref().expect("no cell fails");
             let named: Vec<&str> = output.result.profile.iter().map(|s| s.name).collect();
             for scope in ["tage::predict", "tage::update", "llbp::pattern_lookup"] {
                 assert!(named.contains(&scope), "{scope} missing from {named:?}");
             }
             assert!(output.result.wall_seconds > 0.0);
         }
+    }
+
+    #[test]
+    fn a_panicking_cell_is_isolated_from_the_rest_of_the_matrix() {
+        let sim = tiny_sim();
+        let spec = tiny_spec("iso", 11);
+        let clean = sim.run(&mut TageScl::new(TslConfig::kilobytes(64)), &spec);
+
+        for threads in [1usize, 4] {
+            let jobs = vec![
+                MatrixJob::new(
+                    || Box::new(TageScl::new(TslConfig::kilobytes(64))) as Box<dyn SimPredictor>,
+                    &spec,
+                ),
+                MatrixJob::new(
+                    || panic!("factory exploded on purpose"),
+                    &spec,
+                ),
+                MatrixJob::new(
+                    || Box::new(TageScl::new(TslConfig::kilobytes(64))) as Box<dyn SimPredictor>,
+                    &spec,
+                ),
+            ];
+            let report = run_matrix_with(&sim, jobs, threads, u64::MAX);
+            assert_eq!(report.failed_cells(), 1);
+            let err = report.outputs[1].as_ref().expect_err("cell 1 fails");
+            assert_eq!(err.index, 1);
+            assert_eq!(err.workload, spec.name);
+            assert_eq!(err.predictor, None, "the factory never produced one");
+            assert!(err.message.contains("factory exploded"), "{}", err.message);
+            for i in [0usize, 2] {
+                let ok = report.outputs[i].as_ref().expect("survivors complete");
+                assert_eq!(ok.result.mispredicts, clean.mispredicts);
+                assert!(!ok.result.is_failed());
+            }
+        }
+    }
+
+    #[test]
+    fn fault_injection_fails_exactly_the_chosen_cell() {
+        let sim = tiny_sim();
+        let specs = [tiny_spec("fault", 13)];
+        let report =
+            run_matrix_opts(&sim, standard_jobs(&specs), 2, u64::MAX, None, Some(1));
+        assert_eq!(report.failed_cells(), 1);
+        let err = report.outputs[1].as_ref().expect_err("cell 1 is the fault cell");
+        assert!(err.message.contains(ENV_FAULT_CELL), "{}", err.message);
+        assert_eq!(err.predictor.as_deref(), Some("LLBP"), "run-stage failures carry the label");
+        assert!(err.fingerprint.is_some());
+        assert!(report.outputs[0].is_ok());
+    }
+
+    #[test]
+    fn checkpointed_matrix_resumes_bit_identically() {
+        let sim = tiny_sim();
+        let specs = [tiny_spec("ckpt", 17)];
+        let path = tmp("resume");
+        let _ = std::fs::remove_file(&path);
+
+        let clean = run_matrix_with(&sim, standard_jobs(&specs), 2, u64::MAX);
+
+        // First pass: cell 1 faults, so only cell 0 lands in the journal.
+        let cp = Arc::new(Checkpoint::open(&path).expect("journal opens"));
+        let first =
+            run_matrix_opts(&sim, standard_jobs(&specs), 2, u64::MAX, Some(cp), Some(1));
+        assert_eq!(first.failed_cells(), 1);
+        assert_eq!(first.resumed_cells(), 0);
+
+        // Second pass with the same journal and no fault: cell 0 restores,
+        // cell 1 simulates, and every metric matches the clean run.
+        let cp = Arc::new(Checkpoint::open(&path).expect("journal reopens"));
+        assert_eq!(cp.len(), 1, "only the completed cell was journaled");
+        let second =
+            run_matrix_opts(&sim, standard_jobs(&specs), 2, u64::MAX, Some(cp), None);
+        assert_eq!(second.failed_cells(), 0);
+        assert_eq!(second.resumed_cells(), 1);
+        for (resumed, clean) in second.outputs.iter().zip(&clean.outputs) {
+            let resumed = resumed.as_ref().expect("no cell fails");
+            let clean = clean.as_ref().expect("no cell fails");
+            assert_eq!(resumed.result.name, clean.result.name);
+            assert_eq!(resumed.result.instructions, clean.result.instructions);
+            assert_eq!(resumed.result.mispredicts, clean.result.mispredicts);
+            assert_eq!(
+                resumed.result.override_candidates,
+                clean.result.override_candidates
+            );
+            assert_eq!(resumed.result.intervals, clean.result.intervals);
+            assert_eq!(resumed.storage_bits, clean.storage_bits);
+        }
+        assert!(second.outputs[0].as_ref().is_ok_and(|o| o.result.resumed));
+        assert!(second.outputs[1].as_ref().is_ok_and(|o| !o.result.resumed));
+
+        // Third pass: everything restores; nothing is simulated.
+        let cp = Arc::new(Checkpoint::open(&path).expect("journal reopens again"));
+        assert_eq!(cp.len(), 2);
+        let third =
+            run_matrix_opts(&sim, standard_jobs(&specs), 2, u64::MAX, Some(cp), None);
+        assert_eq!(third.resumed_cells(), 2);
+
+        // A different budget changes every fingerprint: nothing restores.
+        let other = Simulation { warmup_instructions: 50_000, ..sim };
+        let cp = Arc::new(Checkpoint::open(&path).expect("journal reopens once more"));
+        let fourth =
+            run_matrix_opts(&other, standard_jobs(&specs), 2, u64::MAX, Some(cp), None);
+        assert_eq!(fourth.resumed_cells(), 0, "stale fingerprints never match");
+
+        let _ = std::fs::remove_file(&path);
     }
 }

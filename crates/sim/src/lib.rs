@@ -9,7 +9,16 @@
 //! * [`exec`] — the parallel experiment engine: fans a matrix of
 //!   `(predictor, workload)` runs out over `LLBPX_THREADS` workers with
 //!   deterministic job ordering, sharing one materialized trace per
-//!   workload across its runs (`LLBPX_TRACE_CACHE_MB` caps the cache);
+//!   workload across its runs (`LLBPX_TRACE_CACHE_MB` caps the cache),
+//!   isolating panicking cells as structured [`error::JobError`]s and
+//!   journaling completed cells to a [`checkpoint`] for crash/resume;
+//! * [`checkpoint`] — the `LLBPX_CHECKPOINT` journal: completed matrix
+//!   cells keyed by deterministic job fingerprints, restored
+//!   bit-identically on re-run;
+//! * [`error`] — the [`error::SimError`] hierarchy surfaced by the
+//!   library's fallible paths;
+//! * [`env`] — the shared warn-once environment-variable parsing used by
+//!   every `LLBPX_*`/`REPRO_*` tunable;
 //! * [`timing`] — an analytical out-of-order core model standing in for
 //!   gem5 (Figs. 1, 13, 14b), including the overriding-pipeline variant;
 //! * [`energy`] — a CACTI-like access-energy model for Fig. 15b;
@@ -32,14 +41,20 @@
 //! assert!(result.instructions >= 100_000);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod analysis;
+pub mod checkpoint;
 pub mod energy;
+pub mod env;
+pub mod error;
 pub mod exec;
 pub mod predictor;
 pub mod report;
 pub mod runner;
 pub mod timing;
 
+pub use error::{JobError, SimError};
 pub use predictor::SimPredictor;
-pub use runner::{RunResult, Simulation};
+pub use runner::{RunResult, RunStatus, Simulation, TraceSource};
 pub use timing::CoreParams;

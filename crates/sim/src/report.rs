@@ -42,6 +42,15 @@ impl Table {
         self
     }
 
+    /// Appends a failed-cell row: the first column plus `n/a` in every
+    /// remaining column, for matrix cells that did not complete.
+    pub fn na_row(&mut self, first: impl Into<String>) -> &mut Self {
+        let mut cells = vec![first.into()];
+        cells.resize(self.header.len(), "n/a".to_owned());
+        self.rows.push(cells);
+        self
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -149,6 +158,15 @@ mod tests {
     fn mismatched_rows_are_rejected() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn na_rows_fill_every_remaining_column() {
+        let mut t = Table::new("demo", &["workload", "base", "speedup"]);
+        t.na_row("NodeApp");
+        let s = t.render();
+        assert!(s.contains("NodeApp"));
+        assert_eq!(s.matches("n/a").count(), 2);
     }
 
     #[test]

@@ -9,7 +9,43 @@ use telemetry::{IntervalRecorder, IntervalSample, IntervalSnapshot, RunRecord, S
 use traces::BranchStream;
 use workloads::{ServerWorkload, WorkloadSpec};
 
+use crate::error::SimError;
 use crate::predictor::SimPredictor;
+
+/// Outcome of one matrix cell.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The run completed.
+    #[default]
+    Ok,
+    /// The cell's worker panicked; the matrix kept going and this result
+    /// is a placeholder carrying the captured message.
+    Failed {
+        /// The captured panic message.
+        error: String,
+    },
+}
+
+/// Where a run's branch records came from under the experiment engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TraceSource {
+    /// Generated on the fly by the workload generator (the serial path and
+    /// the engine's cache-overflow fallback).
+    #[default]
+    Streamed,
+    /// Replayed from the engine's shared materialized trace.
+    Materialized,
+}
+
+impl TraceSource {
+    /// Telemetry label for the source.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceSource::Streamed => "streamed",
+            TraceSource::Materialized => "materialized",
+        }
+    }
+}
 
 /// Result of one predictor × workload run.
 #[derive(Debug, Clone, Default)]
@@ -42,9 +78,39 @@ pub struct RunResult {
     pub intervals: Vec<IntervalSample>,
     /// Scope profile accumulated during the run (warmup + measurement).
     pub profile: Vec<ScopeTotals>,
+    /// Outcome of the cell that produced this result.
+    pub status: RunStatus,
+    /// Whether the run streamed its workload or replayed a shared trace.
+    pub trace_source: TraceSource,
+    /// Whether this result was restored from a checkpoint journal instead
+    /// of simulated in this invocation.
+    pub resumed: bool,
 }
 
 impl RunResult {
+    /// A placeholder result for an isolated matrix cell that failed;
+    /// coordinators render these as `n/a` rows.
+    pub fn failed(predictor: Option<String>, workload: &str, error: String) -> RunResult {
+        RunResult {
+            name: predictor.unwrap_or_else(|| "(failed)".to_owned()),
+            workload: workload.to_owned(),
+            status: RunStatus::Failed { error },
+            ..RunResult::default()
+        }
+    }
+
+    /// Whether the cell failed (the accuracy fields are meaningless then).
+    pub fn is_failed(&self) -> bool {
+        matches!(self.status, RunStatus::Failed { .. })
+    }
+
+    /// The captured failure message, if the cell failed.
+    pub fn error(&self) -> Option<&str> {
+        match &self.status {
+            RunStatus::Ok => None,
+            RunStatus::Failed { error } => Some(error),
+        }
+    }
     /// Mispredictions per kilo-instruction.
     pub fn mpki(&self) -> f64 {
         if self.instructions == 0 {
@@ -90,6 +156,17 @@ impl RunResult {
                 .unwrap_or_default(),
             intervals: std::mem::take(&mut self.intervals),
             profile: std::mem::take(&mut self.profile),
+            status: match &self.status {
+                RunStatus::Ok => "ok".to_owned(),
+                RunStatus::Failed { .. } => "failed".to_owned(),
+            },
+            error: self.error().map(str::to_owned),
+            trace_source: if self.is_failed() {
+                String::new()
+            } else {
+                self.trace_source.as_str().to_owned()
+            },
+            resumed: self.resumed,
             extra: Vec::new(),
         }
     }
@@ -114,27 +191,23 @@ impl Simulation {
     /// Reads `REPRO_WARMUP` / `REPRO_INSTRUCTIONS` from the environment
     /// (instruction counts), falling back to [`Simulation::quick`]. The
     /// experiment binaries all use this, so one variable rescales every
-    /// figure. A set-but-unparsable value falls back too, with a warning
-    /// on stderr so a typo'd budget doesn't invisibly shrink a run.
+    /// figure. A set-but-unparsable value falls back too, with a
+    /// once-per-key warning on stderr (via [`crate::env::env_parse_or_warn`])
+    /// so a typo'd budget doesn't invisibly shrink a run.
     pub fn from_env() -> Self {
-        let parse = |key: &str| {
-            let raw = std::env::var(key).ok()?;
-            match raw.replace('_', "").parse::<u64>() {
-                Ok(v) => Some(v),
-                Err(_) => {
-                    eprintln!(
-                        "warning: {key}={raw:?} is not an instruction count; \
-                         using the default budget"
-                    );
-                    None
-                }
-            }
-        };
         let quick = Simulation::quick();
+        let parse = |key: &str, default: u64| {
+            crate::env::env_parse_or_warn(
+                key,
+                "an instruction count",
+                "using the default budget",
+                |raw| raw.replace('_', "").parse::<u64>().ok(),
+                || default,
+            )
+        };
         Simulation {
-            warmup_instructions: parse("REPRO_WARMUP").unwrap_or(quick.warmup_instructions),
-            measure_instructions: parse("REPRO_INSTRUCTIONS")
-                .unwrap_or(quick.measure_instructions),
+            warmup_instructions: parse("REPRO_WARMUP", quick.warmup_instructions),
+            measure_instructions: parse("REPRO_INSTRUCTIONS", quick.measure_instructions),
         }
     }
 
@@ -142,9 +215,26 @@ impl Simulation {
     ///
     /// The workload stream is regenerated from the spec's seed, so every
     /// predictor sees the identical trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` fails validation; use [`Simulation::try_run`] to
+    /// handle that structurally.
     pub fn run<P: SimPredictor + ?Sized>(&self, predictor: &mut P, spec: &WorkloadSpec) -> RunResult {
-        let mut stream = ServerWorkload::new(spec);
-        self.run_stream(predictor, &mut stream, &spec.name)
+        self.try_run(predictor, spec).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs `predictor` over the workload described by `spec`, reporting an
+    /// invalid spec as [`SimError::InvalidSpec`] instead of panicking.
+    pub fn try_run<P: SimPredictor + ?Sized>(
+        &self,
+        predictor: &mut P,
+        spec: &WorkloadSpec,
+    ) -> Result<RunResult, SimError> {
+        let mut stream = ServerWorkload::try_new(spec).map_err(|reason| {
+            SimError::InvalidSpec { workload: spec.name.clone(), reason }
+        })?;
+        Ok(self.run_stream(predictor, &mut stream, &spec.name))
     }
 
     /// Runs `predictor` over an arbitrary branch stream.

@@ -84,13 +84,6 @@ impl Json {
         }
     }
 
-    /// Serializes to a compact single-line JSON string.
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -141,6 +134,15 @@ impl Json {
             return Err(p.err("trailing characters after value"));
         }
         Ok(v)
+    }
+}
+
+/// Serializes to a compact single-line JSON string (via `to_string`).
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
     }
 }
 

@@ -16,7 +16,17 @@ use crate::json::Json;
 use crate::profile::ScopeTotals;
 
 /// Schema identifier written into every emitted record line.
-pub const SCHEMA: &str = "llbpx-telemetry/1";
+///
+/// v2 is a strict superset of v1: every run record additionally carries a
+/// `status` field (`"ok"` / `"failed"`), an `error` message on failed
+/// cells, the per-run `trace_cache` attribution
+/// (`"streamed"` / `"materialized"`), and `resumed: true` on cells
+/// restored from a checkpoint — readers of [`SCHEMA_V1`] lines keep
+/// working unchanged on v2 lines.
+pub const SCHEMA: &str = "llbpx-telemetry/2";
+
+/// The previous schema identifier, kept for readers that accept both.
+pub const SCHEMA_V1: &str = "llbpx-telemetry/1";
 
 /// Environment variable enabling telemetry without touching a binary's
 /// argument list. Values: `1`/`true` (default `BENCH_<name>.json` in the
@@ -65,6 +75,17 @@ pub struct RunRecord {
     pub intervals: Vec<IntervalSample>,
     /// Scope profile accumulated during the run.
     pub profile: Vec<ScopeTotals>,
+    /// Run outcome: empty or `"ok"` for a completed run, `"failed"` for an
+    /// isolated matrix cell that panicked (schema v2).
+    pub status: String,
+    /// Captured failure message of a failed cell (schema v2).
+    pub error: Option<String>,
+    /// Per-run trace attribution: `"streamed"` or `"materialized"`
+    /// (schema v2; empty = not emitted, for records outside the engine).
+    pub trace_source: String,
+    /// Whether this run was restored from a checkpoint journal rather than
+    /// simulated in this invocation (schema v2).
+    pub resumed: bool,
     /// Additional fields appended by outer layers (storage bits, CPI, ...).
     pub extra: Vec<(String, Json)>,
 }
@@ -109,7 +130,17 @@ impl RunRecord {
                         })
                         .collect(),
                 ),
-            );
+            )
+            .set("status", if self.status.is_empty() { "ok" } else { self.status.as_str() });
+        if let Some(error) = &self.error {
+            j = j.set("error", error.as_str());
+        }
+        if !self.trace_source.is_empty() {
+            j = j.set("trace_cache", self.trace_source.as_str());
+        }
+        if self.resumed {
+            j = j.set("resumed", true);
+        }
         for (k, v) in &self.extra {
             j = j.set(k.as_str(), v.clone());
         }
@@ -167,7 +198,7 @@ pub fn interval_width(measure_instructions: u64) -> u64 {
 /// needed), so successive invocations build a trajectory.
 pub fn append_line(path: &Path, record: &Json) -> std::io::Result<()> {
     let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
-    writeln!(file, "{}", record.to_string())
+    writeln!(file, "{record}")
 }
 
 #[cfg(test)]
@@ -192,12 +223,36 @@ mod tests {
             intervals: Vec::new(),
             profile: vec![ScopeTotals { name: "tage::predict", calls: 5, nanos: 1000 }],
             extra: vec![("cpi".into(), Json::Num(1.5))],
+            ..RunRecord::default()
         };
         let j = Json::parse(&rec.to_json().to_string()).expect("round-trips");
         assert_eq!(j.get("predictor").unwrap().as_str(), Some("LLBP"));
         assert_eq!(j.get("counters").unwrap().get("llbp_provided").unwrap().as_i64(), Some(3));
         assert_eq!(j.get("profile").unwrap().as_arr().unwrap().len(), 1);
         assert_eq!(j.get("cpi").unwrap().as_f64(), Some(1.5));
+        // Schema v2: an unset status reads back as "ok"; optional fields
+        // stay off the line entirely.
+        assert_eq!(j.get("status").unwrap().as_str(), Some("ok"));
+        assert!(j.get("error").is_none());
+        assert!(j.get("resumed").is_none());
+    }
+
+    #[test]
+    fn failed_and_resumed_records_emit_v2_fields() {
+        let rec = RunRecord {
+            predictor: "LLBP".into(),
+            workload: "NodeApp".into(),
+            status: "failed".into(),
+            error: Some("worker panicked".into()),
+            trace_source: "materialized".into(),
+            resumed: true,
+            ..RunRecord::default()
+        };
+        let j = Json::parse(&rec.to_json().to_string()).expect("round-trips");
+        assert_eq!(j.get("status").unwrap().as_str(), Some("failed"));
+        assert_eq!(j.get("error").unwrap().as_str(), Some("worker panicked"));
+        assert_eq!(j.get("trace_cache").unwrap().as_str(), Some("materialized"));
+        assert_eq!(j.get("resumed").unwrap(), &Json::Bool(true));
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! Little-endian field extraction shared by the trace decoders, written
+//! without `try_into().expect(...)` so the library stays panic-free on its
+//! decode paths (`clippy::expect_used` is denied crate-wide outside tests).
+
+/// Reads a little-endian `u64` from `buf[at..at + 8]`.
+///
+/// # Panics
+///
+/// Slice indexing panics if `buf` is shorter than `at + 8`; callers pass
+/// fixed-size record buffers, so the bound is static at every call site.
+pub(crate) fn le_u64(buf: &[u8], at: usize) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(&buf[at..at + 8]);
+    u64::from_le_bytes(bytes)
+}
+
+/// Reads a little-endian `u32` from `buf[at..at + 4]`.
+///
+/// # Panics
+///
+/// Slice indexing panics if `buf` is shorter than `at + 4`.
+pub(crate) fn le_u32(buf: &[u8], at: usize) -> u32 {
+    let mut bytes = [0u8; 4];
+    bytes.copy_from_slice(&buf[at..at + 4]);
+    u32::from_le_bytes(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_little_endian_fields() {
+        let buf: Vec<u8> = (0u8..16).collect();
+        assert_eq!(le_u64(&buf, 0), u64::from_le_bytes([0, 1, 2, 3, 4, 5, 6, 7]));
+        assert_eq!(le_u32(&buf, 8), u32::from_le_bytes([8, 9, 10, 11]));
+    }
+}

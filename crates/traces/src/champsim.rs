@@ -165,7 +165,7 @@ impl ChampSimInstr {
     /// Parses from the 64-byte wire layout.
     pub fn decode(buf: &[u8; CHAMPSIM_RECORD_BYTES]) -> Self {
         let mut instr = ChampSimInstr {
-            ip: u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")),
+            ip: crate::bytes::le_u64(buf, 0),
             is_branch: buf[8],
             branch_taken: buf[9],
             ..ChampSimInstr::default()
@@ -173,12 +173,10 @@ impl ChampSimInstr {
         instr.destination_registers.copy_from_slice(&buf[10..12]);
         instr.source_registers.copy_from_slice(&buf[12..16]);
         for i in 0..2 {
-            instr.destination_memory[i] =
-                u64::from_le_bytes(buf[16 + i * 8..24 + i * 8].try_into().expect("8 bytes"));
+            instr.destination_memory[i] = crate::bytes::le_u64(buf, 16 + i * 8);
         }
         for i in 0..4 {
-            instr.source_memory[i] =
-                u64::from_le_bytes(buf[32 + i * 8..40 + i * 8].try_into().expect("8 bytes"));
+            instr.source_memory[i] = crate::bytes::le_u64(buf, 32 + i * 8);
         }
         instr
     }

@@ -1,0 +1,233 @@
+//! Seeded fault injection for branch streams.
+//!
+//! [`FaultInjector`] wraps any [`BranchStream`] and deterministically
+//! injects one structural fault of a chosen [`FaultClass`] at a
+//! seed-derived offset. It exists to prove, in tests, that the
+//! [`crate::StreamValidator`] catches every class of corruption a decoder
+//! bug, a truncated file, or a buggy generator could produce — and to give
+//! robustness experiments a reproducible way to feed the simulator damaged
+//! input.
+
+use crate::branch::BranchRecord;
+use crate::stream::BranchStream;
+
+/// The classes of stream corruption [`FaultInjector`] can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// End the stream early (as a partially written trace file would).
+    Truncate,
+    /// Flip the low bit of one record's PC (misaligned garbage).
+    Corrupt,
+    /// Emit one not-taken conditional twice in a row.
+    Duplicate,
+    /// Swap two adjacent not-taken conditionals.
+    Reorder,
+}
+
+impl FaultClass {
+    /// All classes, for sweep-style tests.
+    pub const ALL: [FaultClass; 4] =
+        [FaultClass::Truncate, FaultClass::Corrupt, FaultClass::Duplicate, FaultClass::Reorder];
+}
+
+/// SplitMix64 finalizer: one well-mixed value from a seed, enough to derive
+/// a deterministic injection offset without a PRNG dependency.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A [`BranchStream`] adapter that passes records through unchanged until a
+/// seed-derived offset, then injects exactly one fault of its class.
+///
+/// `Duplicate` and `Reorder` need a not-taken conditional (respectively an
+/// adjacent pair of them) to anchor on, so they arm at the offset and fire
+/// at the first eligible record(s) after it; [`FaultInjector::injected`]
+/// reports whether the fault actually fired before the stream ended.
+#[derive(Debug)]
+pub struct FaultInjector<S> {
+    inner: S,
+    class: FaultClass,
+    /// Records to pass through before the fault arms.
+    offset: u64,
+    seen: u64,
+    injected: bool,
+    /// A record held back for re-emission (duplicate copy, or the deferred
+    /// half of a reorder swap / an ineligible reorder candidate).
+    pending: Option<BranchRecord>,
+    ended: bool,
+}
+
+impl<S: BranchStream> FaultInjector<S> {
+    /// Wraps `inner`, injecting one `class` fault at an offset derived
+    /// deterministically from `seed` (between 64 and ~4160 records in).
+    pub fn new(inner: S, class: FaultClass, seed: u64) -> Self {
+        FaultInjector {
+            inner,
+            class,
+            offset: 64 + splitmix64(seed) % 4096,
+            seen: 0,
+            injected: false,
+            pending: None,
+            ended: false,
+        }
+    }
+
+    /// The record offset at which the fault arms.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Whether the fault has fired.
+    pub fn injected(&self) -> bool {
+        self.injected
+    }
+}
+
+impl<S: BranchStream> BranchStream for FaultInjector<S> {
+    fn next_branch(&mut self) -> Option<BranchRecord> {
+        if self.ended {
+            return None;
+        }
+        if let Some(rec) = self.pending.take() {
+            return Some(rec);
+        }
+        let rec = self.inner.next_branch()?;
+        self.seen += 1;
+        if self.injected || self.seen < self.offset {
+            return Some(rec);
+        }
+        match self.class {
+            FaultClass::Truncate => {
+                self.injected = true;
+                self.ended = true;
+                None
+            }
+            FaultClass::Corrupt => {
+                self.injected = true;
+                Some(BranchRecord { pc: rec.pc | 1, ..rec })
+            }
+            FaultClass::Duplicate => {
+                if rec.kind.is_conditional() && !rec.taken {
+                    self.injected = true;
+                    self.pending = Some(rec);
+                }
+                Some(rec)
+            }
+            FaultClass::Reorder => {
+                if rec.kind.is_conditional() && !rec.taken {
+                    match self.inner.next_branch() {
+                        Some(next) if next.kind.is_conditional() && !next.taken => {
+                            // Both halves of an adjacent not-taken pair:
+                            // emit them swapped.
+                            self.injected = true;
+                            self.pending = Some(rec);
+                            Some(next)
+                        }
+                        Some(next) => {
+                            // Not a swappable pair; emit in order and keep
+                            // looking.
+                            self.pending = Some(next);
+                            Some(rec)
+                        }
+                        None => Some(rec),
+                    }
+                } else {
+                    Some(rec)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::BranchKind;
+    use crate::stream::VecTrace;
+    use crate::validate::{StreamValidator, TraceDefect};
+
+    /// An endless alternating stream of not-taken conditionals at ascending
+    /// PCs with a taken loop-back — structurally valid forever.
+    struct Loop {
+        pc: u64,
+        i: u64,
+    }
+
+    impl BranchStream for Loop {
+        fn next_branch(&mut self) -> Option<BranchRecord> {
+            self.i += 1;
+            self.pc += 0x10;
+            if self.i % 8 == 0 {
+                let rec = BranchRecord::new(self.pc, 0x1000, BranchKind::UncondDirect, true, 3);
+                self.pc = 0x1000;
+                Some(rec)
+            } else {
+                Some(BranchRecord::cond(self.pc, self.pc + 0x40, false, 3))
+            }
+        }
+    }
+
+    fn loop_stream() -> Loop {
+        Loop { pc: 0x1000, i: 0 }
+    }
+
+    #[test]
+    fn offsets_are_seed_deterministic() {
+        let a = FaultInjector::new(loop_stream(), FaultClass::Corrupt, 42);
+        let b = FaultInjector::new(loop_stream(), FaultClass::Corrupt, 42);
+        let c = FaultInjector::new(loop_stream(), FaultClass::Corrupt, 43);
+        assert_eq!(a.offset(), b.offset());
+        assert_ne!(a.offset(), c.offset());
+        assert!(a.offset() >= 64 && a.offset() < 64 + 4096);
+    }
+
+    #[test]
+    fn untouched_prefix_is_identical_to_the_inner_stream() {
+        let mut plain = loop_stream();
+        let mut faulty = FaultInjector::new(loop_stream(), FaultClass::Corrupt, 7);
+        for _ in 0..faulty.offset() - 1 {
+            assert_eq!(plain.next_branch(), faulty.next_branch());
+        }
+    }
+
+    #[test]
+    fn every_class_fires_and_is_detected_on_the_loop_stream() {
+        for class in FaultClass::ALL {
+            for seed in 0..8u64 {
+                let mut faulty = FaultInjector::new(loop_stream(), class, seed);
+                let defect =
+                    StreamValidator::validate_stream(&mut faulty, 1_000_000).unwrap_err();
+                assert!(faulty.injected(), "{class:?} seed {seed} never fired");
+                match class {
+                    FaultClass::Truncate => {
+                        assert!(matches!(defect, TraceDefect::Truncated { .. }), "{defect:?}")
+                    }
+                    FaultClass::Corrupt => {
+                        assert!(matches!(defect, TraceDefect::MisalignedPc { .. }), "{defect:?}")
+                    }
+                    FaultClass::Duplicate | FaultClass::Reorder => assert!(
+                        matches!(defect, TraceDefect::NonMonotonicFallthrough { .. }),
+                        "{class:?}: {defect:?}"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_ends_a_finite_stream_early() {
+        // Pick a seed whose derived offset lands inside the finite stream.
+        let seed = (0..u64::MAX)
+            .find(|&s| FaultInjector::new(loop_stream(), FaultClass::Truncate, s).offset() < 200)
+            .unwrap();
+        let records: Vec<BranchRecord> =
+            (0..200).map(|i| BranchRecord::cond(0x1000 + i * 0x10, 0x9000, false, 1)).collect();
+        let mut faulty = FaultInjector::new(VecTrace::new(records), FaultClass::Truncate, seed);
+        let n = std::iter::from_fn(|| faulty.next_branch()).count();
+        assert!((n as u64) < 200, "stream was not truncated (offset {})", faulty.offset());
+        assert!(faulty.injected());
+    }
+}

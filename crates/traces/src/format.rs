@@ -82,8 +82,8 @@ fn encode_record(record: &BranchRecord, buf: &mut [u8; RECORD_BYTES]) {
 }
 
 fn decode_record(buf: &[u8; RECORD_BYTES], offset: u64) -> Result<BranchRecord, TraceFormatError> {
-    let pc = u64::from_le_bytes(buf[0..8].try_into().expect("slice is 8 bytes"));
-    let target = u64::from_le_bytes(buf[8..16].try_into().expect("slice is 8 bytes"));
+    let pc = crate::bytes::le_u64(buf, 0);
+    let target = crate::bytes::le_u64(buf, 8);
     let kind = BranchKind::from_u8(buf[16])
         .ok_or(TraceFormatError::BadKind { offset, value: buf[16] })?;
     let taken = match buf[17] {
@@ -91,7 +91,7 @@ fn decode_record(buf: &[u8; RECORD_BYTES], offset: u64) -> Result<BranchRecord, 
         1 => true,
         v => return Err(TraceFormatError::BadTakenFlag { offset, value: v }),
     };
-    let instr_gap = u32::from_le_bytes(buf[18..22].try_into().expect("slice is 4 bytes"));
+    let instr_gap = crate::bytes::le_u32(buf, 18);
     Ok(BranchRecord { pc, target, kind, taken, instr_gap })
 }
 

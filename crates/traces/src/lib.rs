@@ -25,14 +25,23 @@
 //! assert_eq!(total, 12); // each record counts itself plus its gap
 //! ```
 
+// Library paths must surface structured errors instead of panicking
+// (tests keep their unwrap ergonomics).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod branch;
+mod bytes;
 pub mod champsim;
+pub mod fault;
 pub mod format;
 pub mod stats;
 pub mod stream;
+pub mod validate;
 
 pub use branch::{BranchKind, BranchRecord};
 pub use champsim::{read_champsim, write_champsim, ChampSimInstr};
+pub use fault::{FaultClass, FaultInjector};
 pub use format::{read_trace, write_trace, TraceFormatError};
 pub use stats::TraceStats;
 pub use stream::{BranchStream, SharedTrace, StreamExt, Take, VecTrace};
+pub use validate::{StreamValidator, TraceDefect};

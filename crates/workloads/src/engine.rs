@@ -93,15 +93,21 @@ impl ServerWorkload {
     ///
     /// # Panics
     ///
-    /// Panics if `spec` fails [`WorkloadSpec::validate`].
+    /// Panics if `spec` fails [`WorkloadSpec::validate`]; use
+    /// [`ServerWorkload::try_new`] to handle invalid specs structurally.
     pub fn new(spec: &WorkloadSpec) -> Self {
-        if let Err(e) = spec.validate() {
-            panic!("invalid workload spec `{}`: {e}", spec.name);
-        }
+        Self::try_new(spec)
+            .unwrap_or_else(|e| panic!("invalid workload spec `{}`: {e}", spec.name))
+    }
+
+    /// Builds the generator, reporting a failed [`WorkloadSpec::validate`]
+    /// as the validation message instead of panicking.
+    pub fn try_new(spec: &WorkloadSpec) -> Result<Self, String> {
+        spec.validate()?;
         let mut rng = XorShift::new(spec.seed);
         let zipf = Zipf::new(spec.request_types, spec.zipf_exponent);
         let first = zipf.sample(&mut rng);
-        ServerWorkload {
+        Ok(ServerWorkload {
             phase: vec![
                 0;
                 spec.handlers * spec.branches_per_handler * spec.types_per_handler()
@@ -115,7 +121,7 @@ impl ServerWorkload {
             buf: VecDeque::with_capacity(512),
             requests: 0,
             spec: spec.clone(),
-        }
+        })
     }
 
     /// The spec this generator was built from.

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification, fully offline: release build, the whole test suite,
-# and one smoke experiment emitting a machine-readable run record.
+# the panic-free lint gate, and smoke experiments covering determinism,
+# fault isolation, and checkpoint/resume.
 #
 # Usage: scripts/verify.sh
 # Exits nonzero on the first failure.
@@ -13,6 +14,15 @@ cargo build --release --offline
 
 echo "== tier-1: test suite =="
 cargo test -q --offline
+
+# The library crates that feed the engine deny unwrap/expect outside tests
+# (see crates/{traces,sim}/src/lib.rs); clippy enforces it when available.
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== lint: clippy unwrap/expect gate (traces, bpsim) =="
+    cargo clippy -q --offline -p traces -p bpsim -- -D warnings
+else
+    echo "== lint: clippy unavailable, skipping (lib.rs deny attributes still apply) =="
+fi
 
 echo "== smoke: fig01 --json, LLBPX_THREADS=1 vs 4 =="
 sink1="$(mktemp -t llbpx-verify-t1-XXXXXX.json)"
@@ -38,12 +48,15 @@ def load(path):
         lines = [l for l in f.read().splitlines() if l.strip()]
     assert len(lines) == 1, f"expected one record line, got {len(lines)}"
     rec = json.loads(lines[0])
-    assert rec["schema"] == "llbpx-telemetry/1", rec["schema"]
+    assert rec["schema"] == "llbpx-telemetry/2", rec["schema"]
     assert rec["bench"] == "fig01"
+    assert "failed_cells" not in rec, "no cell may fail in the clean smoke"
     assert rec["total_wall_seconds"] > 0
     assert rec["trace_cache"]["specs_cached"] + rec["trace_cache"]["specs_streamed"] >= 1
     assert len(rec["runs"]) >= 1
     for run in rec["runs"]:
+        assert run["status"] == "ok", run
+        assert run["trace_cache"] in ("streamed", "materialized"), run
         assert len(run["intervals"]) >= 2, "too few interval samples"
         timed = [s for s in run["profile"] if s["nanos"] > 0 and s["calls"] > 0]
         assert len(timed) >= 2, f"too few timed scopes: {run['profile']}"
@@ -61,5 +74,63 @@ for r1, r4 in zip(one["runs"], four["runs"]):
 print(f"ok: {len(one['runs'])} run record(s), accuracy bit-identical at 1 and 4 threads, "
       f"wall {one['total_wall_seconds']:.2f}s vs {four['total_wall_seconds']:.2f}s")
 EOF
+
+echo "== smoke: fault isolation (LLBPX_FAULT_CELL) =="
+# One deliberately-panicking cell: the run must exit nonzero, render the
+# broken preset as n/a, keep the other preset's row, and mark exactly one
+# telemetry run failed.
+sink_fault="$(mktemp -t llbpx-verify-fault-XXXXXX.json)"
+fault_out="$(mktemp -t llbpx-verify-fault-XXXXXX.out)"
+if LLBPX_FAULT_CELL=1 LLBPX_THREADS=4 REPRO_WORKLOADS=NodeApp,TPCC \
+    REPRO_WARMUP=100000 REPRO_INSTRUCTIONS=400000 \
+    ./target/release/fig01 --json "$sink_fault" >"$fault_out" 2>/dev/null; then
+    echo "error: fig01 exited 0 despite a failed cell" >&2
+    exit 1
+fi
+grep -q "n/a" "$fault_out" || { echo "error: no n/a row for the failed cell" >&2; exit 1; }
+python3 - "$sink_fault" <<'EOF'
+import json, sys
+rec = json.loads(open(sys.argv[1]).read().splitlines()[0])
+assert rec["failed_cells"] == 1, rec.get("failed_cells")
+failed = [r for r in rec["runs"] if r["status"] == "failed"]
+assert len(failed) == 1 and "LLBPX_FAULT_CELL" in failed[0]["error"], failed
+ok = [r for r in rec["runs"] if r["status"] == "ok"]
+assert len(ok) == len(rec["runs"]) - 1, "the other cells must complete"
+print(f"ok: 1 of {len(rec['runs'])} cells failed, isolated, exit nonzero")
+EOF
+rm -f "$sink_fault" "$fault_out"
+
+echo "== smoke: kill -9 mid-matrix, resume from LLBPX_CHECKPOINT =="
+ckpt="$(mktemp -t llbpx-verify-ckpt-XXXXXX.jsonl)"
+clean_out="$(mktemp -t llbpx-verify-clean-XXXXXX.out)"
+resume_out="$(mktemp -t llbpx-verify-resume-XXXXXX.out)"
+rm -f "$ckpt"
+run_fig01_4t() { # args = extra env assignments
+    env LLBPX_THREADS=4 REPRO_WORKLOADS=NodeApp,TPCC,Wikipedia,Spring \
+        REPRO_WARMUP=300000 REPRO_INSTRUCTIONS=1000000 "$@" \
+        ./target/release/fig01
+}
+run_fig01_4t >"$clean_out"
+run_fig01_4t "LLBPX_CHECKPOINT=$ckpt" >/dev/null 2>&1 &
+victim=$!
+# Kill as soon as the journal holds one finished cell (mid-matrix).
+for _ in $(seq 1 600); do
+    [ -s "$ckpt" ] && break
+    kill -0 "$victim" 2>/dev/null || break
+    sleep 0.05
+done
+kill -9 "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+[ -s "$ckpt" ] || { echo "error: the killed run journaled nothing" >&2; exit 1; }
+before=$(wc -l <"$ckpt")
+run_fig01_4t "LLBPX_CHECKPOINT=$ckpt" >"$resume_out" 2>/dev/null
+# Only the wall-time line may differ from the uninterrupted run.
+if ! diff <(grep -v "total wall time" "$clean_out") \
+          <(grep -v "total wall time" "$resume_out"); then
+    echo "error: resumed output is not byte-identical to a clean run" >&2
+    exit 1
+fi
+echo "ok: killed after $before journaled cell(s); resumed output byte-identical"
+rm -f "$ckpt" "$clean_out" "$resume_out"
 
 echo "== verify: all green =="

@@ -1,0 +1,58 @@
+//! Trace validation and fault injection against the real workload
+//! generator (the traces crate's unit tests prove the same on synthetic
+//! streams): every bench preset produces a stream that satisfies the
+//! [`traces::StreamValidator`] invariants, and every [`FaultClass`]
+//! injected into a real stream is caught and classified correctly.
+
+use traces::{BranchStream, FaultClass, FaultInjector, StreamValidator, TraceDefect};
+use workloads::ServerWorkload;
+
+const BUDGET: u64 = 200_000;
+
+#[test]
+fn every_preset_stream_passes_validation() {
+    for preset in workloads::presets::all() {
+        let mut stream = ServerWorkload::new(&preset.spec);
+        let (records, instructions) = StreamValidator::validate_stream(&mut stream, BUDGET)
+            .unwrap_or_else(|d| panic!("{}: {d}", preset.spec.name));
+        assert!(records > 0, "{}: empty stream", preset.spec.name);
+        assert!(instructions >= BUDGET, "{}: covered only {instructions}", preset.spec.name);
+    }
+}
+
+#[test]
+fn every_fault_class_is_detected_on_a_real_stream() {
+    let spec = workloads::presets::all().remove(0).spec;
+    for class in FaultClass::ALL {
+        for seed in 0..4u64 {
+            let mut faulty = FaultInjector::new(ServerWorkload::new(&spec), class, seed);
+            let defect = StreamValidator::validate_stream(&mut faulty, BUDGET)
+                .expect_err("an injected fault must not validate");
+            assert!(faulty.injected(), "{class:?} seed {seed} never fired");
+            match class {
+                FaultClass::Truncate => {
+                    assert!(matches!(defect, TraceDefect::Truncated { .. }), "{defect:?}")
+                }
+                FaultClass::Corrupt => {
+                    assert!(matches!(defect, TraceDefect::MisalignedPc { .. }), "{defect:?}")
+                }
+                FaultClass::Duplicate | FaultClass::Reorder => assert!(
+                    matches!(defect, TraceDefect::NonMonotonicFallthrough { .. }),
+                    "{class:?}: {defect:?}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn untouched_streams_replay_identically_through_the_injector_prefix() {
+    // The injector must be a pure pass-through before its offset: the
+    // engine's determinism guarantees would silently die otherwise.
+    let spec = workloads::presets::all().remove(0).spec;
+    let mut plain = ServerWorkload::new(&spec);
+    let mut faulty = FaultInjector::new(ServerWorkload::new(&spec), FaultClass::Corrupt, 11);
+    for _ in 0..faulty.offset() - 1 {
+        assert_eq!(plain.next_branch(), faulty.next_branch());
+    }
+}

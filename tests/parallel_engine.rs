@@ -11,7 +11,7 @@ use std::path::PathBuf;
 use std::process::Command;
 
 use bpsim::exec::{run_matrix_with, MatrixJob};
-use bpsim::runner::{compare, RunResult, Simulation};
+use bpsim::runner::{compare, RunResult, Simulation, TraceSource};
 use bpsim::SimPredictor;
 use telemetry::Json;
 use workloads::WorkloadSpec;
@@ -63,9 +63,18 @@ fn engine_matrix_is_bit_identical_to_serial_compare() {
             }
             let report = run_matrix_with(&sim, jobs, threads, cap_bytes);
             assert_eq!(report.threads, threads);
+            assert_eq!(report.failed_cells(), 0);
             assert_eq!(report.outputs.len(), serial.len());
+            // With the cap forced to zero every cell streams (the serial
+            // fallback path); with an unlimited cap every spec is shared by
+            // two jobs, so every cell replays the materialized trace. Both
+            // must match the serial reference bit for bit.
+            let expected_source =
+                if cap_bytes == 0 { TraceSource::Streamed } else { TraceSource::Materialized };
             for (s, out) in serial.iter().zip(&report.outputs) {
+                let out = out.as_ref().expect("no cell fails");
                 assert_same_run(s, &out.result, &format!("threads={threads} cap={cap_bytes}"));
+                assert_eq!(out.result.trace_source, expected_source);
             }
         }
     }

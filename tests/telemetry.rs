@@ -68,7 +68,7 @@ fn bench_binary_emits_a_valid_record_with_json_flag() {
     assert_eq!(lines.len(), 1, "one invocation appends one line");
     let line = Json::parse(lines[0]).expect("the record line is valid JSON");
 
-    assert_eq!(line.get("schema").unwrap().as_str(), Some("llbpx-telemetry/1"));
+    assert_eq!(line.get("schema").unwrap().as_str(), Some("llbpx-telemetry/2"));
     assert_eq!(line.get("bench").unwrap().as_str(), Some("fig01"));
 
     // Engine bookkeeping on the record line.
@@ -88,6 +88,11 @@ fn bench_binary_emits_a_valid_record_with_json_flag() {
         assert_eq!(run.get("warmup_instructions").unwrap().as_i64(), Some(50_000));
         assert_eq!(run.get("measure_instructions").unwrap().as_i64(), Some(200_000));
         assert!(run.get("predictor").unwrap().as_str().unwrap().contains("TSL"));
+        assert_eq!(run.get("status").unwrap().as_str(), Some("ok"), "v2 status field");
+        assert!(
+            matches!(run.get("trace_cache").unwrap().as_str(), Some("streamed" | "materialized")),
+            "v2 trace_cache attribution"
+        );
         assert!(run.get("mpki").unwrap().as_f64().unwrap() > 0.0);
         assert!(run.get("cpi").unwrap().as_f64().unwrap() > 0.0);
         assert!(run.get("storage_bits").unwrap().as_i64().unwrap() > 0);
