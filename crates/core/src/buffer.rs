@@ -136,7 +136,7 @@ impl PatternBuffer {
                 .enumerate()
                 .min_by_key(|(_, e)| e.lru)
                 .map(|(i, _)| i)
-                .expect("buffer is full, so non-empty");
+                .unwrap_or_else(|| unreachable!("buffer is full, so non-empty"));
             evicted = Some(self.take(lru));
         }
         self.entries.push(PbEntry {

@@ -99,7 +99,7 @@ impl ContextTrackingTable {
         let base = self.set_base(cid2);
         let victim = (base..base + self.ways)
             .min_by_key(|&i| (self.entries[i].valid, self.entries[i].lru))
-            .expect("ways > 0");
+            .unwrap_or_else(|| unreachable!("ways > 0"));
         self.entries[victim] = CttEntry {
             tag: self.tag_of(cid2),
             avg_hist_len: 0,

@@ -31,6 +31,8 @@
 //! assert!(llbpx.storage_bits() > llbp.storage_bits(), "LLBP-X adds the 9 KiB CTT");
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod buffer;
 pub mod config;
 pub mod ctt;

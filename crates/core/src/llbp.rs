@@ -289,7 +289,7 @@ impl Llbp {
                 self.pb
                     .lookup(cid, u64::MAX)
                     .ready_index()
-                    .expect("entry was just inserted")
+                    .unwrap_or_else(|| unreachable!("entry was just inserted"))
             }
         }
     }
@@ -342,12 +342,16 @@ impl Llbp {
             .unwrap_or(false);
 
         // --- combine ------------------------------------------------------
-        let base_pred = if llbp_provides { m.expect("provides implies match").taken } else { tage.pred };
+        let base_pred = if llbp_provides {
+            m.unwrap_or_else(|| unreachable!("provides implies match")).taken
+        } else {
+            tage.pred
+        };
         let mut final_pred = base_pred;
         let mut sc_used = None;
         if !(llbp_provides && self.cfg.suppress_sc) {
             let conf = if llbp_provides {
-                if m.expect("provides implies match").confident {
+                if m.unwrap_or_else(|| unreachable!("provides implies match")).confident {
                     ScInputConfidence::High
                 } else {
                     ScInputConfidence::Medium
@@ -373,7 +377,7 @@ impl Llbp {
         self.last_provided = llbp_provides;
         if llbp_provides {
             self.stats.llbp_provided += 1;
-            let pm = m.expect("provides implies match");
+            let pm = m.unwrap_or_else(|| unreachable!("provides implies match"));
             // What would the standalone baseline TSL have predicted?
             let baseline_sc = self.tsl.sc_eval(pc, tage.pred, TageScl::input_confidence(&tage));
             let baseline =
@@ -417,7 +421,8 @@ impl Llbp {
         // --- allocate on a final misprediction ------------------------------
         if final_pred != taken {
             let provider_bits = if llbp_provides {
-                HISTORY_LENGTHS[m.expect("provides implies match").len_idx as usize]
+                HISTORY_LENGTHS
+                    [m.unwrap_or_else(|| unreachable!("provides implies match")).len_idx as usize]
             } else {
                 tage.provider_history_len()
             };
@@ -475,7 +480,10 @@ impl Llbp {
                 self.store.insert(cur.cid, PatternSet::new());
                 self.stats.sets_created += 1;
             }
-            let set = self.store.lookup_mut(cur.cid).expect("set just ensured");
+            let set = self
+                .store
+                .lookup_mut(cur.cid)
+                .unwrap_or_else(|| unreachable!("set just ensured"));
             set.allocate(tags[alloc_idx as usize], alloc_idx, taken, capacity, allowed);
             self.stats.allocations += 1;
             return;
@@ -582,7 +590,10 @@ impl Llbp {
 
         self.ctx_queue.push_back(sel);
         if self.ctx_queue.len() > self.cfg.d + 1 {
-            let activated = self.ctx_queue.pop_front().expect("queue nonempty");
+            let activated = self
+                .ctx_queue
+                .pop_front()
+                .unwrap_or_else(|| unreachable!("queue nonempty"));
             if self.recent_ctxs.len() == 32 {
                 self.recent_ctxs.pop_front();
             }

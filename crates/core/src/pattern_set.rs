@@ -151,7 +151,7 @@ impl PatternSet {
                 let victim = in_bucket
                     .into_iter()
                     .min_by_key(|&i| self.patterns[i].confidence())
-                    .expect("bucket is full, so non-empty");
+                    .unwrap_or_else(|| unreachable!("bucket is full, so non-empty"));
                 self.patterns[victim] = Pattern::allocate(tag, len_idx, taken);
             }
         } else if self.patterns.len() < capacity {
@@ -159,7 +159,7 @@ impl PatternSet {
         } else {
             let victim = (0..self.patterns.len())
                 .min_by_key(|&i| self.patterns[i].confidence())
-                .expect("set is full, so non-empty");
+                .unwrap_or_else(|| unreachable!("set is full, so non-empty"));
             self.patterns[victim] = Pattern::allocate(tag, len_idx, taken);
         }
     }

@@ -119,7 +119,7 @@ impl PatternStore {
                     .min_by_key(|&i| {
                         (ways[i].valid, ways[i].set.confident_count(), ways[i].lru)
                     })
-                    .expect("assoc > 0");
+                    .unwrap_or_else(|| unreachable!("assoc > 0"));
                 if ways[victim].valid {
                     self.evictions += 1;
                 }

@@ -94,7 +94,7 @@ impl Btb {
         }
         let victim = (base..base + self.ways)
             .min_by_key(|&i| (self.entries[i].valid, self.entries[i].lru))
-            .expect("ways > 0");
+            .unwrap_or_else(|| unreachable!("ways > 0"));
         self.entries[victim] =
             BtbEntry { tag, target, lru: self.clock, valid: true };
     }

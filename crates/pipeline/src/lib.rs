@@ -36,6 +36,8 @@
 //! assert!(result.ipc() > 0.5 && result.ipc() < 8.0);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod btb;
 pub mod core;
 pub mod ras;

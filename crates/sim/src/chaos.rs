@@ -1,0 +1,284 @@
+//! Seeded chaos harness: deterministic fault injection across every layer
+//! the engine defends — worker panics, hung and crawling cells,
+//! checkpoint-write failures, cache-pressure spikes, and corrupted trace
+//! generation (via [`traces::FaultInjector`]).
+//!
+//! A [`ChaosPlan`] is a pure function from `(seed, site)` to "inject a
+//! fault here?": cell faults are keyed by `(cell index, attempt)` and
+//! trace faults by the workload name, never by wall clock or thread
+//! schedule, so the same `LLBPX_CHAOS_SEED` produces the same fault
+//! pattern — and therefore the same result table — at any thread count.
+//! Every injection is recorded as a [`ChaosEvent`] and surfaced on the
+//! matrix report and in telemetry, so a soak can assert that each failure
+//! is attributed rather than silently absorbed.
+
+use std::sync::{Mutex, PoisonError};
+
+use telemetry::prng::SplitMix64;
+use traces::FaultClass;
+
+use crate::env::Knob;
+
+/// Environment variable seeding the chaos harness. Setting it (to any
+/// u64) turns chaos on.
+pub const ENV_CHAOS_SEED: &str = "LLBPX_CHAOS_SEED";
+
+/// Environment variable: per-site injection probability in `[0, 1]`
+/// (default [`DEFAULT_CHAOS_RATE`]). Only read when chaos is on.
+pub const ENV_CHAOS_RATE: &str = "LLBPX_CHAOS_RATE";
+
+/// Default injection probability when `LLBPX_CHAOS_SEED` is set without a
+/// rate.
+pub const DEFAULT_CHAOS_RATE: f64 = 0.25;
+
+fn parse_seed(raw: &str) -> Option<Option<u64>> {
+    raw.parse::<u64>().ok().map(Some)
+}
+
+fn parse_rate(raw: &str) -> Option<f64> {
+    raw.parse::<f64>().ok().filter(|p| (0.0..=1.0).contains(p))
+}
+
+/// [`ENV_CHAOS_SEED`] knob.
+pub static CHAOS_SEED: Knob<Option<u64>> = Knob::new(
+    ENV_CHAOS_SEED,
+    "a u64 seed",
+    "leaving chaos off",
+    parse_seed,
+);
+
+/// [`ENV_CHAOS_RATE`] knob.
+pub static CHAOS_RATE: Knob<f64> = Knob::new(
+    ENV_CHAOS_RATE,
+    "a probability in [0, 1]",
+    "using the default rate",
+    parse_rate,
+);
+
+/// A fault the chaos harness can inject into one cell attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// Panic inside the run (exercises `catch_unwind` isolation).
+    Panic,
+    /// Hang with no heartbeat (exercises `LLBPX_STALL_TIMEOUT`).
+    Stall,
+    /// Crawl: heartbeat advances but the run never finishes (exercises
+    /// `LLBPX_JOB_TIMEOUT`).
+    Slow,
+    /// Drop this cell's checkpoint-journal write (exercises resume with
+    /// holes).
+    CheckpointDrop,
+    /// Force this cell off the shared trace cache onto the degraded
+    /// streaming path (exercises the memory-pressure ladder).
+    CachePressure,
+}
+
+impl ChaosFault {
+    /// Short label used in chaos events and telemetry.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChaosFault::Panic => "panic",
+            ChaosFault::Stall => "stall",
+            ChaosFault::Slow => "slow",
+            ChaosFault::CheckpointDrop => "checkpoint-drop",
+            ChaosFault::CachePressure => "cache-pressure",
+        }
+    }
+}
+
+/// One recorded injection, attributing a fault to the site that received
+/// it and what became of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Matrix cell the fault hit (`None` for workload-level trace faults).
+    pub cell: Option<usize>,
+    /// Which attempt at that cell (0-based; 0 for trace faults).
+    pub attempt: u32,
+    /// Workload the fault hit.
+    pub workload: String,
+    /// Fault label ([`ChaosFault::label`] or `trace-<class>`).
+    pub kind: String,
+    /// What the engine did about it (`"injected"`, `"detected"`, ...).
+    pub outcome: String,
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The seeded injection plan plus the log of what it actually injected.
+#[derive(Debug)]
+pub struct ChaosPlan {
+    seed: u64,
+    rate: f64,
+    events: Mutex<Vec<ChaosEvent>>,
+}
+
+impl ChaosPlan {
+    /// A plan injecting with probability `rate` at each site, keyed by
+    /// `seed`.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        ChaosPlan { seed, rate: rate.clamp(0.0, 1.0), events: Mutex::new(Vec::new()) }
+    }
+
+    /// The plan from `LLBPX_CHAOS_SEED` / `LLBPX_CHAOS_RATE`, or `None`
+    /// when the seed is unset (chaos off).
+    pub fn from_env() -> Option<Self> {
+        let seed = CHAOS_SEED.get(|| None)?;
+        Some(ChaosPlan::new(seed, CHAOS_RATE.get(|| DEFAULT_CHAOS_RATE)))
+    }
+
+    /// The seed this plan runs under.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-site injection probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn rng(&self, domain: u64, salt: u64) -> SplitMix64 {
+        SplitMix64::new(
+            self.seed
+                ^ domain.wrapping_mul(0xA076_1D64_78BD_642F)
+                ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+    }
+
+    /// The fault (if any) to inject into attempt `attempt` at cell
+    /// `index`. Pure in `(seed, rate, index, attempt)`. Stall/slow faults
+    /// are weighted down: on a loaded box each one costs a full timeout
+    /// window of wall clock, and two kinds already cover the watchdog.
+    pub fn cell_fault(&self, index: usize, attempt: u32) -> Option<ChaosFault> {
+        let mut rng = self.rng(1, (index as u64) << 8 | u64::from(attempt));
+        if !rng.next_bool(self.rate) {
+            return None;
+        }
+        Some(match rng.next_below(10) {
+            0..=2 => ChaosFault::Panic,
+            3..=5 => ChaosFault::CheckpointDrop,
+            6 | 7 => ChaosFault::CachePressure,
+            8 => ChaosFault::Stall,
+            _ => ChaosFault::Slow,
+        })
+    }
+
+    /// The trace-corruption fault (if any) to inject into the generation
+    /// of workload `workload`'s shared trace. Pure in
+    /// `(seed, rate, workload)` — per workload, not per cell, because the
+    /// trace is generated once and shared.
+    pub fn trace_fault(&self, workload: &str) -> Option<FaultClass> {
+        let mut rng = self.rng(2, fnv1a64(workload.as_bytes()));
+        if !rng.next_bool(self.rate) {
+            return None;
+        }
+        let class = FaultClass::ALL[rng.next_below(FaultClass::ALL.len() as u64) as usize];
+        Some(class)
+    }
+
+    /// A per-plan seed for [`traces::FaultInjector`] placement.
+    pub fn trace_fault_seed(&self, workload: &str) -> u64 {
+        self.rng(3, fnv1a64(workload.as_bytes())).next_u64()
+    }
+
+    /// Records one injection for attribution.
+    pub fn record(&self, event: ChaosEvent) {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner).push(event);
+    }
+
+    /// Drains the recorded events, sorted into a schedule-independent
+    /// order (workload, cell, attempt, kind) so reports are deterministic
+    /// at any thread count.
+    pub fn take_events(&self) -> Vec<ChaosEvent> {
+        let mut events =
+            std::mem::take(&mut *self.events.lock().unwrap_or_else(PoisonError::into_inner));
+        events.sort_by(|a, b| {
+            (&a.workload, a.cell, a.attempt, &a.kind)
+                .cmp(&(&b.workload, b.cell, b.attempt, &b.kind))
+        });
+        events
+    }
+}
+
+/// Chaos attribution attached to a finished [`crate::exec::MatrixReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// The seed the sweep ran under.
+    pub seed: u64,
+    /// The per-site injection probability.
+    pub rate: f64,
+    /// Every injected fault, in schedule-independent order.
+    pub events: Vec<ChaosEvent>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_faults_are_pure_in_seed_index_attempt() {
+        let a = ChaosPlan::new(99, 0.8);
+        let b = ChaosPlan::new(99, 0.8);
+        for index in 0..32usize {
+            for attempt in 0..3u32 {
+                assert_eq!(a.cell_fault(index, attempt), b.cell_fault(index, attempt));
+            }
+        }
+        let c = ChaosPlan::new(100, 0.8);
+        let differs = (0..32usize).any(|i| a.cell_fault(i, 0) != c.cell_fault(i, 0));
+        assert!(differs, "different seeds should differ somewhere in 32 cells");
+    }
+
+    #[test]
+    fn rate_bounds_inject_nothing_or_everything() {
+        let off = ChaosPlan::new(5, 0.0);
+        let on = ChaosPlan::new(5, 1.0);
+        for index in 0..16usize {
+            assert_eq!(off.cell_fault(index, 0), None);
+            assert!(on.cell_fault(index, 0).is_some());
+        }
+        assert_eq!(off.trace_fault("NodeApp"), None);
+        assert!(on.trace_fault("NodeApp").is_some());
+    }
+
+    #[test]
+    fn a_high_rate_plan_reaches_every_fault_kind() {
+        let plan = ChaosPlan::new(0xC0FFEE, 1.0);
+        let mut seen = std::collections::BTreeSet::new();
+        for index in 0..200usize {
+            if let Some(fault) = plan.cell_fault(index, 0) {
+                seen.insert(fault.label());
+            }
+        }
+        for kind in ["panic", "stall", "slow", "checkpoint-drop", "cache-pressure"] {
+            assert!(seen.contains(kind), "{kind} never drawn in 200 cells");
+        }
+    }
+
+    #[test]
+    fn events_sort_schedule_independently() {
+        let plan = ChaosPlan::new(1, 1.0);
+        let ev = |cell, attempt, wl: &str| ChaosEvent {
+            cell,
+            attempt,
+            workload: wl.into(),
+            kind: "panic".into(),
+            outcome: "injected".into(),
+        };
+        plan.record(ev(Some(2), 0, "b"));
+        plan.record(ev(Some(1), 1, "a"));
+        plan.record(ev(Some(1), 0, "a"));
+        let events = plan.take_events();
+        assert_eq!(
+            events.iter().map(|e| (e.cell, e.attempt)).collect::<Vec<_>>(),
+            vec![(Some(1), 0), (Some(1), 1), (Some(2), 0)]
+        );
+        assert!(plan.take_events().is_empty(), "take drains");
+    }
+}

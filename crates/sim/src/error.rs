@@ -12,6 +12,45 @@ use std::path::PathBuf;
 
 use traces::TraceDefect;
 
+/// How an isolated matrix cell failed — the supervision layer maps each
+/// kind to its telemetry `status` and decides whether a retry makes sense.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum JobErrorKind {
+    /// The cell's worker panicked (in the factory or the run).
+    #[default]
+    Panic,
+    /// The attempt exceeded the `LLBPX_JOB_TIMEOUT` wall-clock deadline
+    /// and was cancelled by the watchdog.
+    TimedOut,
+    /// The attempt made no heartbeat progress for `LLBPX_STALL_TIMEOUT`
+    /// and was cancelled by the watchdog.
+    Stalled,
+    /// The cell was quarantined in the checkpoint journal by an earlier
+    /// invocation that exhausted its retries; this invocation skipped it.
+    Quarantined,
+}
+
+impl JobErrorKind {
+    /// The telemetry `status` value for this kind.
+    pub fn status(self) -> &'static str {
+        match self {
+            JobErrorKind::Panic => "failed",
+            JobErrorKind::TimedOut | JobErrorKind::Stalled => "timeout",
+            JobErrorKind::Quarantined => "quarantined",
+        }
+    }
+
+    /// Short human label for messages.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobErrorKind::Panic => "failed",
+            JobErrorKind::TimedOut => "timed out",
+            JobErrorKind::Stalled => "stalled",
+            JobErrorKind::Quarantined => "quarantined",
+        }
+    }
+}
+
 /// A failure inside one isolated matrix cell.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobError {
@@ -24,20 +63,51 @@ pub struct JobError {
     /// Deterministic job fingerprint (see [`crate::checkpoint`]), if the
     /// cell got far enough to compute one.
     pub fingerprint: Option<String>,
-    /// The captured panic message.
+    /// The captured panic message (or timeout/quarantine description).
     pub message: String,
+    /// How the cell failed.
+    pub kind: JobErrorKind,
+    /// Attempts made at this cell in this invocation (0 when the cell
+    /// never ran, e.g. a quarantined cell that was skipped).
+    pub attempts: u32,
+}
+
+impl JobError {
+    /// A panic-kind error, the pre-supervision default.
+    pub fn panic(
+        index: usize,
+        workload: &str,
+        predictor: Option<String>,
+        fingerprint: Option<String>,
+        message: String,
+    ) -> Self {
+        JobError {
+            index,
+            workload: workload.to_owned(),
+            predictor,
+            fingerprint,
+            message,
+            kind: JobErrorKind::Panic,
+            attempts: 1,
+        }
+    }
 }
 
 impl fmt::Display for JobError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "matrix cell {} ({} × {}) failed: {}",
+            "matrix cell {} ({} × {}) {}: {}",
             self.index,
             self.predictor.as_deref().unwrap_or("unbuilt predictor"),
             self.workload,
+            self.kind.as_str(),
             self.message
-        )
+        )?;
+        if self.attempts >= 2 {
+            write!(f, " (after {} attempts)", self.attempts)?;
+        }
+        Ok(())
     }
 }
 
@@ -121,19 +191,35 @@ mod tests {
 
     #[test]
     fn job_errors_render_their_cell() {
-        let e = JobError {
-            index: 3,
-            workload: "NodeApp".into(),
-            predictor: Some("LLBP-X".into()),
-            fingerprint: Some("deadbeef".into()),
-            message: "boom".into(),
-        };
+        let e = JobError::panic(
+            3,
+            "NodeApp",
+            Some("LLBP-X".into()),
+            Some("deadbeef".into()),
+            "boom".into(),
+        );
         let s = e.to_string();
         assert!(s.contains("cell 3"), "{s}");
         assert!(s.contains("LLBP-X × NodeApp"), "{s}");
         assert!(s.contains("boom"), "{s}");
         let s = SimError::from(e).to_string();
         assert!(s.contains("boom"), "{s}");
+    }
+
+    #[test]
+    fn job_error_kinds_map_to_statuses_and_render_attempts() {
+        assert_eq!(JobErrorKind::Panic.status(), "failed");
+        assert_eq!(JobErrorKind::TimedOut.status(), "timeout");
+        assert_eq!(JobErrorKind::Stalled.status(), "timeout");
+        assert_eq!(JobErrorKind::Quarantined.status(), "quarantined");
+        let e = JobError {
+            kind: JobErrorKind::TimedOut,
+            attempts: 3,
+            ..JobError::panic(0, "w", None, None, "too slow".into())
+        };
+        let s = e.to_string();
+        assert!(s.contains("timed out"), "{s}");
+        assert!(s.contains("after 3 attempts"), "{s}");
     }
 
     #[test]

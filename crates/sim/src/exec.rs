@@ -1,6 +1,7 @@
 //! The parallel experiment engine: fans a run matrix out over worker
-//! threads, shares materialized workload traces between runs, isolates
-//! per-cell failures, and journals completed cells to a checkpoint.
+//! threads, shares materialized workload traces between runs, isolates and
+//! supervises per-cell failures, and journals completed cells to a
+//! checkpoint.
 //!
 //! Every figure/table binary replays the paper's protocol as a *matrix* of
 //! `(predictor, workload)` cells. The cells are embarrassingly parallel and
@@ -10,26 +11,34 @@
 //! * [`run_jobs`] — a deterministic-order parallel map: jobs are claimed in
 //!   index order by `LLBPX_THREADS` scoped workers and the results come
 //!   back in job order, bit-identical to running them serially;
-//! * [`materialize`] — generates one workload's branch stream once into an
-//!   `Arc<[BranchRecord]>` so every predictor on that workload replays the
-//!   identical records read-only instead of re-synthesizing them (with
-//!   [`try_materialize`] validating every generated record structurally);
-//! * [`run_matrix`] — the two combined, with a memory cap
-//!   (`LLBPX_TRACE_CACHE_MB`) that falls back to per-job streaming for
-//!   budgets too large to materialize (e.g. paper-protocol limit studies).
+//! * a lazily-filled shared trace cache ([`crate::cache::TraceCache`],
+//!   capped by `LLBPX_TRACE_CACHE_MB`) so every predictor on a workload
+//!   replays identical records read-only instead of re-synthesizing them,
+//!   with LRU eviction and graceful demotion to streaming under memory
+//!   pressure;
+//! * [`run_matrix`] — the two combined.
 //!
 //! Robustness, on top of that:
 //!
 //! * **Job isolation** — each matrix cell runs under `catch_unwind`, so a
 //!   panicking cell becomes an `Err(`[`JobError`]`)` in the report instead
 //!   of aborting the whole sweep; every other cell still completes.
-//!   `LLBPX_FAULT_CELL=<index>` deliberately panics one cell, to exercise
-//!   this path end-to-end.
+//!   `LLBPX_FAULT_CELL=<index>[:panic|stall|slow]` deliberately breaks one
+//!   cell, to exercise these paths end-to-end.
+//! * **Supervision** — with `LLBPX_JOB_TIMEOUT` / `LLBPX_STALL_TIMEOUT`
+//!   set, a watchdog thread cancels hung cells cooperatively (the runner's
+//!   hot loop heartbeats and polls at a bounded stride), reporting them as
+//!   structured timeout errors instead of wedging the sweep; transient
+//!   failures retry up to `LLBPX_JOB_RETRIES` times on a deterministic
+//!   seeded backoff, and cells that exhaust retries are quarantined in the
+//!   checkpoint journal. See [`crate::supervise`].
 //! * **Checkpoint/resume** — with `LLBPX_CHECKPOINT=<path>` set, every
 //!   completed cell is journaled (keyed by a deterministic fingerprint of
 //!   predictor config, workload spec and budgets); re-running after a
 //!   crash or kill restores journaled cells bit-identically and simulates
 //!   only the rest. See [`crate::checkpoint`].
+//! * **Chaos** — `LLBPX_CHAOS_SEED` turns on seeded fault injection across
+//!   all of the above. See [`crate::chaos`].
 //!
 //! Telemetry stays correct under concurrency because every per-run source
 //! is job-local: the scope profiler is thread-local and snapshotted around
@@ -42,16 +51,23 @@
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use traces::{BranchRecord, BranchStream, SharedTrace, StreamValidator};
+use traces::{BranchRecord, SharedTrace};
 use workloads::{ServerWorkload, WorkloadSpec};
 
+pub use crate::cache::{TraceCacheStats, TraceLease};
+use crate::cache::TraceCache;
+use crate::chaos::{ChaosEvent, ChaosFault, ChaosPlan, ChaosReport};
 use crate::checkpoint::{self, Checkpoint};
-use crate::env::env_parse_or_warn;
-use crate::error::{panic_message, JobError, SimError};
+use crate::env::Knob;
+use crate::error::{panic_message, JobError, JobErrorKind, SimError};
 use crate::predictor::SimPredictor;
 use crate::runner::{RunResult, Simulation, TraceSource};
+use crate::supervise::{
+    retry_backoff, CancelReason, Cancelled, JobTicket, SuperviseConfig, Watchdog,
+    ENV_JOB_TIMEOUT, ENV_STALL_TIMEOUT,
+};
 
 /// Environment variable selecting the worker count (default: available
 /// parallelism).
@@ -62,8 +78,12 @@ pub const ENV_THREADS: &str = "LLBPX_THREADS";
 pub const ENV_TRACE_CACHE_MB: &str = "LLBPX_TRACE_CACHE_MB";
 
 /// Environment variable naming one zero-based matrix cell to deliberately
-/// panic, for exercising the failure-isolation path end-to-end (tests,
-/// `scripts/verify.sh`).
+/// break, for exercising the failure-isolation and supervision paths
+/// end-to-end (tests, `scripts/verify.sh`). `<index>` alone panics the
+/// cell; `<index>:panic|stall|slow` selects the failure mode — `stall`
+/// hangs without heartbeat progress (caught by `LLBPX_STALL_TIMEOUT`),
+/// `slow` keeps beating but never finishes (caught by
+/// `LLBPX_JOB_TIMEOUT`).
 pub const ENV_FAULT_CELL: &str = "LLBPX_FAULT_CELL";
 
 /// Default trace-cache cap: 3 GiB covers the 14-preset matrix at the
@@ -71,17 +91,89 @@ pub const ENV_FAULT_CELL: &str = "LLBPX_FAULT_CELL";
 /// stream instead.
 pub const DEFAULT_TRACE_CACHE_MB: u64 = 3072;
 
+/// How an injected fault breaks its cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Panic inside the run.
+    Panic,
+    /// Hang with no heartbeat progress until the watchdog cancels it.
+    Stall,
+    /// Keep heartbeating but never finish, until the deadline cancels it.
+    Slow,
+}
+
+impl InjectedFault {
+    /// The `LLBPX_FAULT_CELL` kind suffix.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            InjectedFault::Panic => "panic",
+            InjectedFault::Stall => "stall",
+            InjectedFault::Slow => "slow",
+        }
+    }
+}
+
+/// One deliberately-broken matrix cell, from [`ENV_FAULT_CELL`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Zero-based matrix cell to break.
+    pub cell: usize,
+    /// How to break it.
+    pub kind: InjectedFault,
+}
+
+fn parse_threads(raw: &str) -> Option<usize> {
+    raw.parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+fn parse_cache_mb(raw: &str) -> Option<u64> {
+    raw.parse::<u64>().ok()
+}
+
+fn parse_fault(raw: &str) -> Option<Option<FaultSpec>> {
+    let (cell, kind) = match raw.split_once(':') {
+        Some((cell, kind)) => (cell, kind),
+        None => (raw, "panic"),
+    };
+    let cell = cell.trim().parse::<usize>().ok()?;
+    let kind = match kind.trim() {
+        "panic" => InjectedFault::Panic,
+        "stall" => InjectedFault::Stall,
+        "slow" => InjectedFault::Slow,
+        _ => return None,
+    };
+    Some(Some(FaultSpec { cell, kind }))
+}
+
+/// [`ENV_THREADS`] knob.
+pub static THREADS: Knob<usize> = Knob::new(
+    ENV_THREADS,
+    "a positive thread count",
+    "using available parallelism",
+    parse_threads,
+);
+
+/// [`ENV_TRACE_CACHE_MB`] knob.
+pub static TRACE_CACHE_MB: Knob<u64> = Knob::new(
+    ENV_TRACE_CACHE_MB,
+    "a size in MiB",
+    "using the default cap",
+    parse_cache_mb,
+);
+
+/// [`ENV_FAULT_CELL`] knob.
+pub static FAULT_CELL: Knob<Option<FaultSpec>> = Knob::new(
+    ENV_FAULT_CELL,
+    "a zero-based cell index with an optional :panic|:stall|:slow kind",
+    "ignoring it",
+    parse_fault,
+);
+
 /// The worker count: `LLBPX_THREADS` if set to a positive integer,
 /// otherwise the machine's available parallelism. An unparsable value
 /// warns once on stderr and uses the default, like the `REPRO_*` budgets.
 pub fn threads_from_env() -> usize {
-    env_parse_or_warn(
-        ENV_THREADS,
-        "a positive thread count",
-        "using available parallelism",
-        |raw| raw.parse::<usize>().ok().filter(|&n| n >= 1),
-        default_threads,
-    )
+    THREADS.get(default_threads)
 }
 
 fn default_threads() -> usize {
@@ -90,25 +182,12 @@ fn default_threads() -> usize {
 
 /// The trace-cache cap in bytes, from [`ENV_TRACE_CACHE_MB`].
 pub fn trace_cache_bytes_from_env() -> u64 {
-    env_parse_or_warn(
-        ENV_TRACE_CACHE_MB,
-        "a size in MiB",
-        "using the default cap",
-        |raw| raw.parse::<u64>().ok(),
-        || DEFAULT_TRACE_CACHE_MB,
-    )
-    .saturating_mul(1024 * 1024)
+    TRACE_CACHE_MB.get(|| DEFAULT_TRACE_CACHE_MB).saturating_mul(1024 * 1024)
 }
 
-/// The deliberately-faulted cell index from [`ENV_FAULT_CELL`], if any.
-pub fn fault_cell_from_env() -> Option<usize> {
-    env_parse_or_warn(
-        ENV_FAULT_CELL,
-        "a zero-based cell index",
-        "ignoring it",
-        |raw| raw.parse::<usize>().ok().map(Some),
-        || None,
-    )
+/// The deliberately-broken cell from [`ENV_FAULT_CELL`], if any.
+pub fn fault_from_env() -> Option<FaultSpec> {
+    FAULT_CELL.get(|| None)
 }
 
 /// A boxed unit of work for [`run_jobs`].
@@ -190,27 +269,9 @@ pub fn try_materialize(
     instructions: u64,
     cap_bytes: u64,
 ) -> Result<Option<Arc<[BranchRecord]>>, SimError> {
-    let _t = telemetry::scope("workload::materialize");
-    let record_bytes = std::mem::size_of::<BranchRecord>() as u64;
     let mut stream = ServerWorkload::try_new(spec)
         .map_err(|reason| SimError::InvalidSpec { workload: spec.name.clone(), reason })?;
-    let mut validator = StreamValidator::new();
-    let mut records: Vec<BranchRecord> = Vec::new();
-    let mut generated = 0u64;
-    let mut largest = 1u64;
-    while generated < instructions.saturating_add(2 * largest) {
-        if (records.len() as u64 + 1) * record_bytes > cap_bytes {
-            return Ok(None);
-        }
-        let Some(rec) = stream.next_branch() else { return Ok(None) };
-        validator
-            .check(&rec)
-            .map_err(|defect| SimError::Trace { workload: spec.name.clone(), defect })?;
-        generated += rec.instructions();
-        largest = largest.max(rec.instructions());
-        records.push(rec);
-    }
-    Ok(Some(records.into()))
+    crate::cache::materialize_stream(&spec.name, &mut stream, instructions, cap_bytes, None)
 }
 
 /// [`try_materialize`], panicking on invalid specs or corrupt streams.
@@ -224,11 +285,12 @@ pub fn materialize(
 
 /// One cell of a run matrix: a predictor factory plus the workload it runs
 /// on. The factory executes on the worker thread that claims the job, so
-/// predictors never cross threads.
+/// predictors never cross threads; it is re-invoked on every retry
+/// (`LLBPX_JOB_RETRIES`), so each attempt starts from a fresh predictor.
 pub struct MatrixJob<'a> {
     /// Builds the predictor (and may run arbitrary setup, e.g. oracle
     /// training) on the worker thread.
-    pub factory: Box<dyn FnOnce() -> Box<dyn SimPredictor> + Send + 'a>,
+    pub factory: Box<dyn Fn() -> Box<dyn SimPredictor> + Send + 'a>,
     /// The workload the predictor runs on. Jobs with equal specs share one
     /// materialized trace.
     pub spec: WorkloadSpec,
@@ -237,7 +299,7 @@ pub struct MatrixJob<'a> {
 impl<'a> MatrixJob<'a> {
     /// Creates a job from a factory and the workload spec it runs on.
     pub fn new(
-        factory: impl FnOnce() -> Box<dyn SimPredictor> + Send + 'a,
+        factory: impl Fn() -> Box<dyn SimPredictor> + Send + 'a,
         spec: &WorkloadSpec,
     ) -> Self {
         MatrixJob { factory: Box::new(factory), spec: spec.clone() }
@@ -253,44 +315,64 @@ pub struct MatrixOutput {
     pub storage_bits: u64,
 }
 
-/// How the shared trace cache behaved for one matrix.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct TraceCacheStats {
-    /// Distinct workload specs materialized into shared storage.
-    pub specs_cached: usize,
-    /// Distinct specs that streamed instead (single-job specs or cap
-    /// overflow).
-    pub specs_streamed: usize,
-    /// Total records held across all materialized traces.
-    pub cached_records: u64,
-    /// Total bytes held across all materialized traces.
-    pub cached_bytes: u64,
-    /// Wall-clock seconds spent generating the shared traces.
-    pub generation_seconds: f64,
-}
-
 /// A completed run matrix: per-cell outcomes in job order plus engine
 /// bookkeeping for the coordinator's telemetry record.
 pub struct MatrixReport {
     /// Per-job outcomes, in the order the jobs were submitted. A cell that
-    /// panicked is an `Err` carrying the captured message; every other
-    /// cell completed normally.
+    /// panicked, timed out or was quarantined is an `Err` carrying the
+    /// structured error; every other cell completed normally.
     pub outputs: Vec<Result<MatrixOutput, JobError>>,
     /// Worker threads actually used.
     pub threads: usize,
     /// Shared-trace cache behavior.
     pub cache: TraceCacheStats,
+    /// The supervision configuration the matrix ran under.
+    pub supervise: SuperviseConfig,
+    /// Chaos attribution, when the matrix ran under a chaos plan.
+    pub chaos: Option<ChaosReport>,
 }
 
 impl MatrixReport {
-    /// The failed cells, in job order.
+    /// The failed cells (any kind), in job order.
     pub fn failures(&self) -> impl Iterator<Item = &JobError> {
         self.outputs.iter().filter_map(|o| o.as_ref().err())
     }
 
-    /// How many cells failed.
+    /// How many cells failed (panicked, timed out, or quarantined).
     pub fn failed_cells(&self) -> usize {
         self.failures().count()
+    }
+
+    /// How many cells were cancelled by the watchdog.
+    pub fn timed_out_cells(&self) -> usize {
+        self.failures()
+            .filter(|e| matches!(e.kind, JobErrorKind::TimedOut | JobErrorKind::Stalled))
+            .count()
+    }
+
+    /// How many cells were skipped because the journal quarantines them.
+    pub fn quarantined_cells(&self) -> usize {
+        self.failures().filter(|e| e.kind == JobErrorKind::Quarantined).count()
+    }
+
+    /// How many cells needed more than one attempt (successful or not).
+    pub fn retried_cells(&self) -> usize {
+        self.outputs
+            .iter()
+            .filter(|o| match o {
+                Ok(out) => out.result.attempts >= 2,
+                Err(err) => err.attempts >= 2,
+            })
+            .count()
+    }
+
+    /// How many completed cells were demoted to streaming under memory
+    /// pressure.
+    pub fn degraded_cells(&self) -> usize {
+        self.outputs
+            .iter()
+            .filter(|o| matches!(o, Ok(out) if out.result.degraded))
+            .count()
     }
 
     /// How many cells were restored from the checkpoint journal instead of
@@ -303,170 +385,468 @@ impl MatrixReport {
     }
 }
 
-/// Runs a matrix with the environment-selected thread count, trace cache
-/// cap, checkpoint journal ([`crate::checkpoint::ENV_CHECKPOINT`]) and
-/// fault cell ([`ENV_FAULT_CELL`]). See [`run_matrix_opts`].
-pub fn run_matrix(sim: &Simulation, jobs: Vec<MatrixJob<'_>>) -> MatrixReport {
-    run_matrix_opts(
-        sim,
-        jobs,
-        threads_from_env(),
-        trace_cache_bytes_from_env(),
-        Checkpoint::from_env().map(Arc::new),
-        fault_cell_from_env(),
-    )
+/// Everything that shapes how a matrix executes, beyond the jobs
+/// themselves. [`EngineOptions::from_env`] reads the whole knob set;
+/// [`EngineOptions::basic`] is the bare engine (no checkpoint, no faults,
+/// no supervision) for tests and library callers.
+pub struct EngineOptions {
+    /// Worker threads.
+    pub threads: usize,
+    /// Shared trace cache cap, in bytes.
+    pub cap_bytes: u64,
+    /// Checkpoint journal, if any.
+    pub checkpoint: Option<Arc<Checkpoint>>,
+    /// One deliberately-broken cell, if any ([`ENV_FAULT_CELL`]).
+    pub fault: Option<FaultSpec>,
+    /// Deadlines, stall detection and retries.
+    pub supervise: SuperviseConfig,
+    /// Seeded chaos injection, if any.
+    pub chaos: Option<Arc<ChaosPlan>>,
 }
 
-/// Runs a matrix with explicit thread count and cache cap, no checkpoint
-/// and no fault injection. See [`run_matrix_opts`].
+impl EngineOptions {
+    /// The bare engine: explicit threads and cache cap, everything else
+    /// off.
+    pub fn basic(threads: usize, cap_bytes: u64) -> Self {
+        EngineOptions {
+            threads,
+            cap_bytes,
+            checkpoint: None,
+            fault: None,
+            supervise: SuperviseConfig::default(),
+            chaos: None,
+        }
+    }
+
+    /// The full environment-driven configuration: `LLBPX_THREADS`,
+    /// `LLBPX_TRACE_CACHE_MB`, `LLBPX_CHECKPOINT`, `LLBPX_FAULT_CELL`,
+    /// `LLBPX_JOB_TIMEOUT` / `LLBPX_STALL_TIMEOUT` / `LLBPX_JOB_RETRIES`,
+    /// and `LLBPX_CHAOS_SEED` / `LLBPX_CHAOS_RATE`.
+    pub fn from_env() -> Self {
+        EngineOptions {
+            threads: threads_from_env(),
+            cap_bytes: trace_cache_bytes_from_env(),
+            checkpoint: Checkpoint::from_env().map(Arc::new),
+            fault: fault_from_env(),
+            supervise: SuperviseConfig::from_env(),
+            chaos: ChaosPlan::from_env().map(Arc::new),
+        }
+    }
+}
+
+/// Runs a matrix under the full environment-driven configuration
+/// ([`EngineOptions::from_env`]). See [`run_matrix_opts`].
+pub fn run_matrix(sim: &Simulation, jobs: Vec<MatrixJob<'_>>) -> MatrixReport {
+    run_matrix_opts(sim, jobs, EngineOptions::from_env())
+}
+
+/// Runs a matrix with explicit thread count and cache cap, no checkpoint,
+/// no fault injection and no supervision. See [`run_matrix_opts`].
 pub fn run_matrix_with(
     sim: &Simulation,
     jobs: Vec<MatrixJob<'_>>,
     threads: usize,
     cap_bytes: u64,
 ) -> MatrixReport {
-    run_matrix_opts(sim, jobs, threads, cap_bytes, None, None)
+    run_matrix_opts(sim, jobs, EngineOptions::basic(threads, cap_bytes))
+}
+
+/// A stall or slow fault that nothing would ever cancel must not hang the
+/// sweep; after this long it panics instead (which the cell isolation
+/// catches).
+const INJECTED_FAULT_FAILSAFE: Duration = Duration::from_secs(120);
+
+/// What one attempt at one cell has injected into it.
+#[derive(Debug, Clone, Copy, Default)]
+struct AttemptFaults {
+    /// Break the run itself (panic / stall / slow).
+    delay: Option<InjectedFault>,
+    /// Pretend the checkpoint write failed for this cell.
+    drop_checkpoint: bool,
+    /// Force this cell off the trace cache onto degraded streaming.
+    cache_pressure: bool,
+}
+
+/// Shared per-matrix context the cell runner needs.
+struct MatrixContext<'e> {
+    sim: Simulation,
+    checkpoint: Option<Arc<Checkpoint>>,
+    fault: Option<FaultSpec>,
+    chaos: Option<Arc<ChaosPlan>>,
+    supervise: SuperviseConfig,
+    cache: &'e TraceCache,
+    watchdog: Option<&'e Watchdog>,
+}
+
+impl MatrixContext<'_> {
+    /// Resolves the faults injected into `(index, attempt)` — from the
+    /// explicit `LLBPX_FAULT_CELL` (which hits every attempt, so retries
+    /// of it exhaust deterministically) or the chaos plan — and records
+    /// chaos attribution. Stall/slow faults that no configured watchdog
+    /// could ever cancel are downgraded to panics so they cannot hang the
+    /// sweep.
+    fn faults_for(&self, index: usize, attempt: u32, workload: &str) -> AttemptFaults {
+        let mut faults = AttemptFaults::default();
+        if let Some(fault) = self.fault {
+            if fault.cell == index {
+                faults.delay = Some(self.downgrade(fault.kind));
+                return faults;
+            }
+        }
+        let Some(chaos) = self.chaos.as_deref() else { return faults };
+        let Some(injected) = chaos.cell_fault(index, attempt) else { return faults };
+        let mut outcome = "injected";
+        match injected {
+            ChaosFault::Panic => faults.delay = Some(InjectedFault::Panic),
+            ChaosFault::Stall => {
+                faults.delay = Some(self.downgrade(InjectedFault::Stall));
+                if faults.delay == Some(InjectedFault::Panic) {
+                    outcome = "downgraded-to-panic";
+                }
+            }
+            ChaosFault::Slow => {
+                faults.delay = Some(self.downgrade(InjectedFault::Slow));
+                if faults.delay == Some(InjectedFault::Panic) {
+                    outcome = "downgraded-to-panic";
+                }
+            }
+            ChaosFault::CheckpointDrop => {
+                faults.drop_checkpoint = true;
+                if self.checkpoint.is_none() {
+                    outcome = "no-checkpoint";
+                }
+            }
+            ChaosFault::CachePressure => faults.cache_pressure = true,
+        }
+        chaos.record(ChaosEvent {
+            cell: Some(index),
+            attempt,
+            workload: workload.to_owned(),
+            kind: injected.label().to_owned(),
+            outcome: outcome.to_owned(),
+        });
+        faults
+    }
+
+    /// A stall needs *some* watchdog window; a slow fault specifically
+    /// needs the wall-clock deadline (its heartbeat keeps the stall
+    /// detector quiet). Without one, inject a panic instead.
+    fn downgrade(&self, kind: InjectedFault) -> InjectedFault {
+        match kind {
+            InjectedFault::Stall if !self.supervise.watched() => InjectedFault::Panic,
+            InjectedFault::Slow if self.supervise.job_timeout.is_none() => {
+                InjectedFault::Panic
+            }
+            kind => kind,
+        }
+    }
+
+    /// Renders a watchdog cancellation as the cell's error message.
+    fn cancel_message(&self, cancelled: Cancelled) -> String {
+        match cancelled.reason {
+            CancelReason::DeadlineExceeded => format!(
+                "cancelled by the watchdog: exceeded the {:.3}s wall-clock deadline \
+                 ({ENV_JOB_TIMEOUT}) after {} simulated instructions",
+                self.supervise.job_timeout.unwrap_or_default().as_secs_f64(),
+                cancelled.instructions,
+            ),
+            CancelReason::Stalled => format!(
+                "cancelled by the watchdog: no heartbeat progress for {:.3}s \
+                 ({ENV_STALL_TIMEOUT}) after {} simulated instructions",
+                self.supervise.stall_timeout.unwrap_or_default().as_secs_f64(),
+                cancelled.instructions,
+            ),
+        }
+    }
+}
+
+/// Parks without heartbeat progress until the watchdog cancels the ticket.
+fn stall_until_cancelled(ticket: &JobTicket) -> Cancelled {
+    let started = Instant::now();
+    loop {
+        if let Some(reason) = ticket.cancelled() {
+            return Cancelled { reason, instructions: 0 };
+        }
+        if started.elapsed() > INJECTED_FAULT_FAILSAFE {
+            panic!("injected stall was never cancelled; is a watchdog configured?");
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Keeps heartbeating (so the stall detector stays quiet) but never
+/// finishes, until the wall-clock deadline cancels the ticket.
+fn crawl_until_cancelled(ticket: &JobTicket) -> Cancelled {
+    let started = Instant::now();
+    loop {
+        ticket.bump();
+        if let Some(reason) = ticket.cancelled() {
+            return Cancelled { reason, instructions: 0 };
+        }
+        if started.elapsed() > INJECTED_FAULT_FAILSAFE {
+            panic!("injected slow cell was never cancelled; is a deadline configured?");
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// One attempt at one cell: build the predictor, consult the journal,
+/// claim the trace, run under `catch_unwind` and supervision, journal the
+/// completion.
+fn run_cell_once(
+    ctx: &MatrixContext<'_>,
+    index: usize,
+    factory: &(dyn Fn() -> Box<dyn SimPredictor> + Send),
+    spec: &WorkloadSpec,
+    sharers: usize,
+    attempt: u32,
+) -> Result<MatrixOutput, JobError> {
+    let mut predictor = match std::panic::catch_unwind(AssertUnwindSafe(factory)) {
+        Ok(predictor) => predictor,
+        Err(payload) => {
+            return Err(JobError::panic(
+                index,
+                &spec.name,
+                None,
+                None,
+                panic_message(payload),
+            ))
+        }
+    };
+    let name = predictor.name();
+    let storage_bits = predictor.storage_bits();
+    let fingerprint =
+        checkpoint::job_fingerprint(index, &name, storage_bits, spec, &ctx.sim);
+    if let Some(cell) = ctx.checkpoint.as_deref().and_then(|cp| cp.lookup(&fingerprint)) {
+        return Ok(MatrixOutput { result: cell.result, storage_bits: cell.storage_bits });
+    }
+    if let Some(q) =
+        ctx.checkpoint.as_deref().and_then(|cp| cp.lookup_quarantined(&fingerprint))
+    {
+        return Err(JobError {
+            index,
+            workload: spec.name.clone(),
+            predictor: Some(name),
+            fingerprint: Some(fingerprint),
+            message: format!(
+                "quarantined by an earlier invocation after {} attempts: {}",
+                q.attempts, q.error
+            ),
+            kind: JobErrorKind::Quarantined,
+            attempts: 0,
+        });
+    }
+
+    // Resolved only after the journal lookups: a restored or quarantined
+    // cell never ran, so it takes (and attributes) no injection.
+    let faults = ctx.faults_for(index, attempt, &spec.name);
+    let ticket = Arc::new(JobTicket::new(index));
+    let _guard = ctx.watchdog.map(|w| w.watch(Arc::clone(&ticket)));
+    let run = std::panic::catch_unwind(AssertUnwindSafe(
+        || -> Result<RunResult, Cancelled> {
+            match faults.delay {
+                Some(InjectedFault::Panic) => panic!(
+                    "deliberate fault injected into cell {index} \
+                     (see {ENV_FAULT_CELL} / chaos)"
+                ),
+                Some(InjectedFault::Stall) => return Err(stall_until_cancelled(&ticket)),
+                Some(InjectedFault::Slow) => return Err(crawl_until_cancelled(&ticket)),
+                None => {}
+            }
+            let lease = if faults.cache_pressure {
+                TraceLease::Streamed { degraded: true }
+            } else {
+                ctx.cache.acquire(spec, sharers, &ticket)
+            };
+            if let Some(reason) = ticket.cancelled() {
+                return Err(Cancelled { reason, instructions: 0 });
+            }
+            match lease {
+                TraceLease::Materialized(records) => {
+                    let mut replay = SharedTrace::new(records);
+                    let mut result = ctx.sim.run_stream_watched(
+                        predictor.as_mut(),
+                        &mut replay,
+                        &spec.name,
+                        &ticket,
+                    )?;
+                    result.trace_source = TraceSource::Materialized;
+                    Ok(result)
+                }
+                TraceLease::Streamed { degraded } => {
+                    let mut stream = ServerWorkload::try_new(spec).unwrap_or_else(
+                        |reason| {
+                            panic!(
+                                "{}",
+                                SimError::InvalidSpec {
+                                    workload: spec.name.clone(),
+                                    reason
+                                }
+                            )
+                        },
+                    );
+                    let mut result = ctx.sim.run_stream_watched(
+                        predictor.as_mut(),
+                        &mut stream,
+                        &spec.name,
+                        &ticket,
+                    )?;
+                    result.trace_source = TraceSource::Streamed;
+                    result.degraded = degraded;
+                    Ok(result)
+                }
+            }
+        },
+    ));
+    match run {
+        Ok(Ok(result)) => {
+            if let Some(cp) = ctx.checkpoint.as_deref() {
+                if !faults.drop_checkpoint {
+                    cp.record(&fingerprint, &result, storage_bits);
+                }
+            }
+            Ok(MatrixOutput { result, storage_bits })
+        }
+        Ok(Err(cancelled)) => Err(JobError {
+            index,
+            workload: spec.name.clone(),
+            predictor: Some(name),
+            fingerprint: Some(fingerprint),
+            message: ctx.cancel_message(cancelled),
+            kind: match cancelled.reason {
+                CancelReason::DeadlineExceeded => JobErrorKind::TimedOut,
+                CancelReason::Stalled => JobErrorKind::Stalled,
+            },
+            attempts: 1,
+        }),
+        Err(payload) => Err(JobError::panic(
+            index,
+            &spec.name,
+            Some(name),
+            Some(fingerprint),
+            panic_message(payload),
+        )),
+    }
+}
+
+/// The per-cell retry loop around [`run_cell_once`]: transient failures
+/// (panics, timeouts) retry up to `LLBPX_JOB_RETRIES` times on the
+/// deterministic backoff schedule; a cell that exhausts its retries is
+/// quarantined in the journal (when both retries and a checkpoint are
+/// configured) so resumes skip it.
+fn run_cell_supervised(
+    ctx: &MatrixContext<'_>,
+    index: usize,
+    factory: &(dyn Fn() -> Box<dyn SimPredictor> + Send),
+    spec: &WorkloadSpec,
+    sharers: usize,
+) -> Result<MatrixOutput, JobError> {
+    let retries = ctx.supervise.retries;
+    let backoff_seed =
+        ctx.chaos.as_deref().map_or(0x5EED_0BAC_C0FFu64, ChaosPlan::seed);
+    let mut attempt = 0u32;
+    loop {
+        match run_cell_once(ctx, index, factory, spec, sharers, attempt) {
+            Ok(mut out) => {
+                if !out.result.resumed {
+                    out.result.attempts = attempt + 1;
+                }
+                return Ok(out);
+            }
+            Err(mut err) => {
+                if err.kind == JobErrorKind::Quarantined {
+                    return Err(err);
+                }
+                err.attempts = attempt + 1;
+                if attempt < retries {
+                    std::thread::sleep(retry_backoff(backoff_seed, index, attempt));
+                    attempt += 1;
+                    continue;
+                }
+                if retries > 0 {
+                    if let (Some(cp), Some(fp)) =
+                        (ctx.checkpoint.as_deref(), err.fingerprint.as_deref())
+                    {
+                        cp.record_quarantine(fp, &err);
+                    }
+                }
+                return Err(err);
+            }
+        }
+    }
 }
 
 /// Runs every `(predictor factory, workload)` job under `sim`, fanning out
-/// over at most `threads` workers, and returns the outcomes in job order —
-/// completed cells bit-identical to running the same cells serially via
-/// [`Simulation::run`].
+/// over at most `opts.threads` workers, and returns the outcomes in job
+/// order — completed cells bit-identical to running the same cells
+/// serially via [`Simulation::run`].
 ///
-/// Each distinct spec shared by two or more jobs is materialized once
-/// (within `cap_bytes` across all specs) and replayed read-only by every
-/// job on that workload; single-job specs and cap overflow stream from the
-/// generator exactly as the serial path does. Both paths produce the same
-/// records in the same order, so accuracy never depends on which one ran —
-/// the one that did is attributed per run in [`RunResult::trace_source`].
+/// Each distinct spec shared by two or more jobs is materialized lazily
+/// into the shared trace cache (within `opts.cap_bytes` across all specs,
+/// with LRU eviction and graceful demotion to degraded streaming — see
+/// [`crate::cache::TraceCache`]) and replayed read-only by every job on
+/// that workload; single-job specs stream from the generator exactly as
+/// the serial path does. Both paths produce the same records in the same
+/// order, so accuracy never depends on which one ran — the one that did is
+/// attributed per run in [`RunResult::trace_source`] and
+/// [`RunResult::degraded`].
 ///
-/// Each cell runs under `catch_unwind`: a panic (in the factory or the
-/// run) yields `Err(JobError)` for that cell and every other cell still
-/// completes. With a `checkpoint`, completed cells are journaled under
-/// their deterministic fingerprint and cells already in the journal are
-/// restored (marked `resumed`) instead of simulated. `fault_cell`
-/// deliberately panics the cell of that index.
+/// Each cell runs under `catch_unwind` and (when configured) the
+/// watchdog/retry supervision of [`crate::supervise`]; failures of any
+/// kind yield `Err(JobError)` for that cell and every other cell still
+/// completes. With a checkpoint, completed cells are journaled under their
+/// deterministic fingerprint and cells already in the journal are restored
+/// (marked `resumed`) or skipped (`quarantined`) instead of simulated.
 pub fn run_matrix_opts(
     sim: &Simulation,
     jobs: Vec<MatrixJob<'_>>,
-    threads: usize,
-    cap_bytes: u64,
-    checkpoint: Option<Arc<Checkpoint>>,
-    fault_cell: Option<usize>,
+    opts: EngineOptions,
 ) -> MatrixReport {
     let budget = sim.warmup_instructions.saturating_add(sim.measure_instructions);
-    let mut cache: Vec<(WorkloadSpec, Option<Arc<[BranchRecord]>>)> = Vec::new();
-    let mut stats = TraceCacheStats::default();
-    let record_bytes = std::mem::size_of::<BranchRecord>() as u64;
+    let cache = TraceCache::new(opts.cap_bytes, budget, opts.chaos.clone());
+    let watchdog = opts.supervise.watched().then(|| Watchdog::spawn(opts.supervise));
+    let sharers: Vec<usize> = jobs
+        .iter()
+        .map(|job| jobs.iter().filter(|j| j.spec == job.spec).count())
+        .collect();
 
-    let generation_started = Instant::now();
-    for job in &jobs {
-        if cache.iter().any(|(spec, _)| *spec == job.spec) {
-            continue;
-        }
-        let sharers = jobs.iter().filter(|j| j.spec == job.spec).count();
-        let remaining = cap_bytes.saturating_sub(stats.cached_bytes);
-        let trace = if sharers >= 2 {
-            match try_materialize(&job.spec, budget, remaining) {
-                Ok(trace) => trace,
-                Err(e) => {
-                    // A spec the engine cannot materialize still gets its
-                    // cells run (and individually isolated) on the
-                    // streaming path, where the same failure surfaces as
-                    // per-cell JobErrors instead of one global abort.
-                    eprintln!("warning: {e}; streaming workload `{}`", job.spec.name);
-                    None
-                }
-            }
-        } else {
-            None
-        };
-        match &trace {
-            Some(t) => {
-                stats.specs_cached += 1;
-                stats.cached_records += t.len() as u64;
-                stats.cached_bytes += t.len() as u64 * record_bytes;
-            }
-            None => stats.specs_streamed += 1,
-        }
-        cache.push((job.spec.clone(), trace));
-    }
-    stats.generation_seconds = generation_started.elapsed().as_secs_f64();
-
+    let n = jobs.len();
+    let ctx = MatrixContext {
+        sim: *sim,
+        checkpoint: opts.checkpoint.clone(),
+        fault: opts.fault,
+        chaos: opts.chaos.clone(),
+        supervise: opts.supervise,
+        cache: &cache,
+        watchdog: watchdog.as_ref(),
+    };
     let boxed: Vec<BoxedJob<'_, Result<MatrixOutput, JobError>>> = jobs
         .into_iter()
+        .zip(&sharers)
         .enumerate()
-        .map(|(index, job)| {
-            let trace = cache
-                .iter()
-                .find(|(spec, _)| *spec == job.spec)
-                .and_then(|(_, trace)| trace.clone());
-            let sim = *sim;
-            let checkpoint = checkpoint.clone();
+        .map(|(index, (job, &sharers))| {
+            let ctx = &ctx;
             let MatrixJob { factory, spec } = job;
             Box::new(move || {
-                let mut predictor =
-                    match std::panic::catch_unwind(AssertUnwindSafe(factory)) {
-                        Ok(predictor) => predictor,
-                        Err(payload) => {
-                            return Err(JobError {
-                                index,
-                                workload: spec.name.clone(),
-                                predictor: None,
-                                fingerprint: None,
-                                message: panic_message(payload),
-                            })
-                        }
-                    };
-                let name = predictor.name();
-                let storage_bits = predictor.storage_bits();
-                let fingerprint =
-                    checkpoint::job_fingerprint(index, &name, storage_bits, &spec, &sim);
-                if let Some(cell) =
-                    checkpoint.as_deref().and_then(|cp| cp.lookup(&fingerprint))
-                {
-                    return Ok(MatrixOutput {
-                        result: cell.result,
-                        storage_bits: cell.storage_bits,
-                    });
-                }
-                let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    if fault_cell == Some(index) {
-                        panic!("deliberate fault injected by {ENV_FAULT_CELL}={index}");
-                    }
-                    match &trace {
-                        Some(records) => {
-                            let mut replay = SharedTrace::new(records.clone());
-                            let mut result =
-                                sim.run_stream(predictor.as_mut(), &mut replay, &spec.name);
-                            result.trace_source = TraceSource::Materialized;
-                            result
-                        }
-                        None => sim.run(predictor.as_mut(), &spec),
-                    }
-                }));
-                match run {
-                    Ok(result) => {
-                        if let Some(cp) = checkpoint.as_deref() {
-                            cp.record(&fingerprint, &result, storage_bits);
-                        }
-                        Ok(MatrixOutput { result, storage_bits })
-                    }
-                    Err(payload) => Err(JobError {
-                        index,
-                        workload: spec.name.clone(),
-                        predictor: Some(name),
-                        fingerprint: Some(fingerprint),
-                        message: panic_message(payload),
-                    }),
-                }
+                run_cell_supervised(ctx, index, factory.as_ref(), &spec, sharers)
             }) as BoxedJob<'_, Result<MatrixOutput, JobError>>
         })
         .collect();
 
-    let used_threads = threads.max(1).min(boxed.len().max(1));
-    let outputs = run_jobs_with(threads, boxed);
-    MatrixReport { outputs, threads: used_threads, cache: stats }
+    let used_threads = opts.threads.max(1).min(n.max(1));
+    let outputs = run_jobs_with(opts.threads, boxed);
+    let chaos = opts.chaos.as_deref().map(|plan| ChaosReport {
+        seed: plan.seed(),
+        rate: plan.rate(),
+        events: plan.take_events(),
+    });
+    MatrixReport {
+        outputs,
+        threads: used_threads,
+        cache: cache.stats(),
+        supervise: opts.supervise,
+        chaos,
+    }
 }
 
 #[cfg(test)]
@@ -489,6 +869,15 @@ mod tests {
         std::env::temp_dir().join(format!("llbpx-exec-{tag}-{}.jsonl", std::process::id()))
     }
 
+    fn with_fault(
+        threads: usize,
+        cap: u64,
+        checkpoint: Option<Arc<Checkpoint>>,
+        fault: Option<FaultSpec>,
+    ) -> EngineOptions {
+        EngineOptions { checkpoint, fault, ..EngineOptions::basic(threads, cap) }
+    }
+
     #[test]
     fn run_jobs_preserves_submission_order() {
         let jobs: Vec<BoxedJob<'_, usize>> =
@@ -499,7 +888,7 @@ mod tests {
 
     #[test]
     fn run_jobs_borrows_from_the_caller() {
-        let inputs = vec![1u64, 2, 3];
+        let inputs = [1u64, 2, 3];
         let jobs: Vec<BoxedJob<'_, u64>> =
             inputs.iter().map(|v| Box::new(move || v + 10) as BoxedJob<'_, u64>).collect();
         assert_eq!(run_jobs_with(2, jobs), vec![11, 12, 13]);
@@ -540,6 +929,29 @@ mod tests {
         match try_materialize(&bad, 1_000, u64::MAX) {
             Err(SimError::InvalidSpec { workload, .. }) => assert_eq!(workload, "bad"),
             other => panic!("expected InvalidSpec, got {:?}", other.map(|t| t.is_some())),
+        }
+    }
+
+    #[test]
+    fn fault_specs_parse_every_kind_and_reject_garbage() {
+        assert_eq!(
+            parse_fault("3"),
+            Some(Some(FaultSpec { cell: 3, kind: InjectedFault::Panic }))
+        );
+        assert_eq!(
+            parse_fault("2:stall"),
+            Some(Some(FaultSpec { cell: 2, kind: InjectedFault::Stall }))
+        );
+        assert_eq!(
+            parse_fault("0:slow"),
+            Some(Some(FaultSpec { cell: 0, kind: InjectedFault::Slow }))
+        );
+        assert_eq!(
+            parse_fault("1:panic"),
+            Some(Some(FaultSpec { cell: 1, kind: InjectedFault::Panic }))
+        );
+        for bad in ["", "x", "-1", "2:bogus", ":stall", "stall:2"] {
+            assert_eq!(parse_fault(bad), None, "{bad:?} must be rejected");
         }
     }
 
@@ -591,8 +1003,8 @@ mod tests {
                     );
                     assert_eq!(parallel.result.intervals, serial.intervals);
                     assert!(parallel.storage_bits > 0);
-                    // Satellite: per-run trace attribution follows the path
-                    // that actually ran, not the global engine config.
+                    // Per-run trace attribution follows the path that
+                    // actually ran, not the global engine config.
                     let expected = if cap == 0 {
                         TraceSource::Streamed
                     } else {
@@ -600,6 +1012,8 @@ mod tests {
                     };
                     assert_eq!(parallel.result.trace_source, expected);
                     assert!(!parallel.result.resumed);
+                    assert!(!parallel.result.degraded, "no memory pressure here");
+                    assert_eq!(parallel.result.attempts, 1);
                 }
                 if cap == u64::MAX {
                     assert_eq!(report.cache.specs_cached, 2);
@@ -607,6 +1021,8 @@ mod tests {
                     assert_eq!(report.cache.specs_cached, 0);
                     assert_eq!(report.cache.specs_streamed, 2);
                 }
+                assert_eq!(report.retried_cells(), 0);
+                assert!(report.chaos.is_none());
             }
         }
     }
@@ -663,6 +1079,7 @@ mod tests {
             assert_eq!(err.index, 1);
             assert_eq!(err.workload, spec.name);
             assert_eq!(err.predictor, None, "the factory never produced one");
+            assert_eq!(err.kind, JobErrorKind::Panic);
             assert!(err.message.contains("factory exploded"), "{}", err.message);
             for i in [0usize, 2] {
                 let ok = report.outputs[i].as_ref().expect("survivors complete");
@@ -676,8 +1093,12 @@ mod tests {
     fn fault_injection_fails_exactly_the_chosen_cell() {
         let sim = tiny_sim();
         let specs = [tiny_spec("fault", 13)];
-        let report =
-            run_matrix_opts(&sim, standard_jobs(&specs), 2, u64::MAX, None, Some(1));
+        let fault = FaultSpec { cell: 1, kind: InjectedFault::Panic };
+        let report = run_matrix_opts(
+            &sim,
+            standard_jobs(&specs),
+            with_fault(2, u64::MAX, None, Some(fault)),
+        );
         assert_eq!(report.failed_cells(), 1);
         let err = report.outputs[1].as_ref().expect_err("cell 1 is the fault cell");
         assert!(err.message.contains(ENV_FAULT_CELL), "{}", err.message);
@@ -692,13 +1113,17 @@ mod tests {
         let specs = [tiny_spec("ckpt", 17)];
         let path = tmp("resume");
         let _ = std::fs::remove_file(&path);
+        let fault = FaultSpec { cell: 1, kind: InjectedFault::Panic };
 
         let clean = run_matrix_with(&sim, standard_jobs(&specs), 2, u64::MAX);
 
         // First pass: cell 1 faults, so only cell 0 lands in the journal.
         let cp = Arc::new(Checkpoint::open(&path).expect("journal opens"));
-        let first =
-            run_matrix_opts(&sim, standard_jobs(&specs), 2, u64::MAX, Some(cp), Some(1));
+        let first = run_matrix_opts(
+            &sim,
+            standard_jobs(&specs),
+            with_fault(2, u64::MAX, Some(cp), Some(fault)),
+        );
         assert_eq!(first.failed_cells(), 1);
         assert_eq!(first.resumed_cells(), 0);
 
@@ -706,8 +1131,11 @@ mod tests {
         // cell 1 simulates, and every metric matches the clean run.
         let cp = Arc::new(Checkpoint::open(&path).expect("journal reopens"));
         assert_eq!(cp.len(), 1, "only the completed cell was journaled");
-        let second =
-            run_matrix_opts(&sim, standard_jobs(&specs), 2, u64::MAX, Some(cp), None);
+        let second = run_matrix_opts(
+            &sim,
+            standard_jobs(&specs),
+            with_fault(2, u64::MAX, Some(cp), None),
+        );
         assert_eq!(second.failed_cells(), 0);
         assert_eq!(second.resumed_cells(), 1);
         for (resumed, clean) in second.outputs.iter().zip(&clean.outputs) {
@@ -729,17 +1157,200 @@ mod tests {
         // Third pass: everything restores; nothing is simulated.
         let cp = Arc::new(Checkpoint::open(&path).expect("journal reopens again"));
         assert_eq!(cp.len(), 2);
-        let third =
-            run_matrix_opts(&sim, standard_jobs(&specs), 2, u64::MAX, Some(cp), None);
+        let third = run_matrix_opts(
+            &sim,
+            standard_jobs(&specs),
+            with_fault(2, u64::MAX, Some(cp), None),
+        );
         assert_eq!(third.resumed_cells(), 2);
 
         // A different budget changes every fingerprint: nothing restores.
         let other = Simulation { warmup_instructions: 50_000, ..sim };
         let cp = Arc::new(Checkpoint::open(&path).expect("journal reopens once more"));
-        let fourth =
-            run_matrix_opts(&other, standard_jobs(&specs), 2, u64::MAX, Some(cp), None);
+        let fourth = run_matrix_opts(
+            &other,
+            standard_jobs(&specs),
+            with_fault(2, u64::MAX, Some(cp), None),
+        );
         assert_eq!(fourth.resumed_cells(), 0, "stale fingerprints never match");
 
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stalled_cell_is_cancelled_and_reported_as_a_timeout() {
+        let sim = tiny_sim();
+        let specs = [tiny_spec("stall", 19)];
+        let supervise = SuperviseConfig {
+            job_timeout: Some(Duration::from_secs(30)),
+            stall_timeout: Some(Duration::from_millis(250)),
+            retries: 0,
+        };
+        let opts = EngineOptions {
+            fault: Some(FaultSpec { cell: 1, kind: InjectedFault::Stall }),
+            supervise,
+            ..EngineOptions::basic(2, u64::MAX)
+        };
+        let started = Instant::now();
+        let report = run_matrix_opts(&sim, standard_jobs(&specs), opts);
+        assert!(
+            started.elapsed() < Duration::from_secs(20),
+            "the stall must be cancelled well before the failsafe"
+        );
+        assert_eq!(report.failed_cells(), 1);
+        assert_eq!(report.timed_out_cells(), 1);
+        let err = report.outputs[1].as_ref().expect_err("the stalled cell");
+        assert_eq!(err.kind, JobErrorKind::Stalled);
+        assert_eq!(err.kind.status(), "timeout");
+        assert!(err.message.contains(ENV_STALL_TIMEOUT), "{}", err.message);
+        assert!(report.outputs[0].is_ok(), "the healthy cell still completes");
+    }
+
+    #[test]
+    fn slow_cell_hits_the_wall_clock_deadline() {
+        let sim = tiny_sim();
+        let specs = [tiny_spec("slow", 23)];
+        let supervise = SuperviseConfig {
+            job_timeout: Some(Duration::from_millis(400)),
+            stall_timeout: None,
+            retries: 0,
+        };
+        let opts = EngineOptions {
+            fault: Some(FaultSpec { cell: 0, kind: InjectedFault::Slow }),
+            supervise,
+            ..EngineOptions::basic(1, u64::MAX)
+        };
+        let report = run_matrix_opts(&sim, standard_jobs(&specs), opts);
+        let err = report.outputs[0].as_ref().expect_err("the slow cell");
+        assert_eq!(err.kind, JobErrorKind::TimedOut);
+        assert!(err.message.contains(ENV_JOB_TIMEOUT), "{}", err.message);
+        assert!(report.outputs[1].is_ok());
+    }
+
+    #[test]
+    fn unwatched_stall_faults_downgrade_to_panics_instead_of_hanging() {
+        let sim = tiny_sim();
+        let specs = [tiny_spec("nohang", 29)];
+        for kind in [InjectedFault::Stall, InjectedFault::Slow] {
+            let opts = EngineOptions {
+                fault: Some(FaultSpec { cell: 0, kind }),
+                ..EngineOptions::basic(1, u64::MAX)
+            };
+            let started = Instant::now();
+            let report = run_matrix_opts(&sim, standard_jobs(&specs), opts);
+            assert!(started.elapsed() < Duration::from_secs(20));
+            let err = report.outputs[0].as_ref().expect_err("the faulted cell");
+            assert_eq!(err.kind, JobErrorKind::Panic, "downgraded: nothing could cancel it");
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_the_cell_and_resumes_skip_it() {
+        let sim = tiny_sim();
+        let specs = [tiny_spec("quar", 31)];
+        let path = tmp("quarantine");
+        let _ = std::fs::remove_file(&path);
+        let fault = FaultSpec { cell: 1, kind: InjectedFault::Panic };
+        let supervise = SuperviseConfig { retries: 2, ..SuperviseConfig::default() };
+
+        // First pass: cell 1 panics on every attempt, exhausts its retries
+        // and is quarantined in the journal.
+        let cp = Arc::new(Checkpoint::open(&path).expect("journal opens"));
+        let opts = EngineOptions {
+            supervise,
+            ..with_fault(2, u64::MAX, Some(cp), Some(fault))
+        };
+        let first = run_matrix_opts(&sim, standard_jobs(&specs), opts);
+        let err = first.outputs[1].as_ref().expect_err("the faulted cell");
+        assert_eq!(err.kind, JobErrorKind::Panic);
+        assert_eq!(err.attempts, 3, "one initial try plus two retries");
+        assert_eq!(first.retried_cells(), 1);
+
+        // Second pass, same journal, fault still armed: the quarantined
+        // cell is skipped (no attempts burned), the completed cell resumes.
+        let cp = Arc::new(Checkpoint::open(&path).expect("journal reopens"));
+        assert_eq!(cp.quarantined_len(), 1);
+        let opts = EngineOptions {
+            supervise,
+            ..with_fault(2, u64::MAX, Some(cp), Some(fault))
+        };
+        let second = run_matrix_opts(&sim, standard_jobs(&specs), opts);
+        assert_eq!(second.resumed_cells(), 1);
+        assert_eq!(second.quarantined_cells(), 1);
+        let err = second.outputs[1].as_ref().expect_err("the quarantined cell");
+        assert_eq!(err.kind, JobErrorKind::Quarantined);
+        assert_eq!(err.kind.status(), "quarantined");
+        assert_eq!(err.attempts, 0, "skipped, never run");
+        assert!(err.message.contains("quarantined by an earlier invocation"), "{}", err.message);
+        assert_eq!(second.retried_cells(), 0);
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn retries_without_a_checkpoint_do_not_quarantine() {
+        let sim = tiny_sim();
+        let specs = [tiny_spec("noquar", 37)];
+        let supervise = SuperviseConfig { retries: 1, ..SuperviseConfig::default() };
+        let opts = EngineOptions {
+            supervise,
+            fault: Some(FaultSpec { cell: 0, kind: InjectedFault::Panic }),
+            ..EngineOptions::basic(1, u64::MAX)
+        };
+        let report = run_matrix_opts(&sim, standard_jobs(&specs), opts);
+        let err = report.outputs[0].as_ref().expect_err("the faulted cell");
+        assert_eq!(err.kind, JobErrorKind::Panic);
+        assert_eq!(err.attempts, 2);
+        assert_eq!(report.quarantined_cells(), 0);
+    }
+
+    #[test]
+    fn chaos_outcomes_are_deterministic_across_thread_counts() {
+        let sim = tiny_sim();
+        let specs = [tiny_spec("chaos-a", 41), tiny_spec("chaos-b", 43)];
+        let supervise = SuperviseConfig {
+            job_timeout: Some(Duration::from_secs(2)),
+            stall_timeout: Some(Duration::from_millis(250)),
+            retries: 0,
+        };
+        let run = |threads: usize| {
+            let opts = EngineOptions {
+                supervise,
+                chaos: Some(Arc::new(ChaosPlan::new(0xC0FFEE, 1.0))),
+                ..EngineOptions::basic(threads, u64::MAX)
+            };
+            run_matrix_opts(&sim, standard_jobs(&specs), opts)
+        };
+        let one = run(1);
+        let four = run(4);
+        let digest = |report: &MatrixReport| {
+            report
+                .outputs
+                .iter()
+                .map(|o| match o {
+                    Ok(out) => format!(
+                        "ok:{}:{}:{}",
+                        out.result.mispredicts, out.result.degraded, out.result.attempts
+                    ),
+                    Err(e) => format!("{:?}:{}", e.kind, e.attempts),
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(digest(&one), digest(&four));
+        let events = |report: &MatrixReport| {
+            report
+                .chaos
+                .as_ref()
+                .expect("chaos report present")
+                .events
+                .iter()
+                .map(|e| format!("{:?}:{}:{}:{}", e.cell, e.attempt, e.kind, e.outcome))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(events(&one), events(&four));
+        assert!(
+            !events(&one).is_empty(),
+            "rate 1.0 must inject into every cell"
+        );
     }
 }

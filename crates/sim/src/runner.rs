@@ -9,8 +9,10 @@ use telemetry::{IntervalRecorder, IntervalSample, IntervalSnapshot, RunRecord, S
 use traces::BranchStream;
 use workloads::{ServerWorkload, WorkloadSpec};
 
-use crate::error::SimError;
+use crate::env::Knob;
+use crate::error::{JobError, JobErrorKind, SimError};
 use crate::predictor::SimPredictor;
+use crate::supervise::{CancelReason, Cancelled, JobTicket};
 
 /// Outcome of one matrix cell.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -24,6 +26,31 @@ pub enum RunStatus {
         /// The captured panic message.
         error: String,
     },
+    /// The cell was cancelled by the watchdog (wall-clock deadline or
+    /// heartbeat stall); the matrix kept going.
+    TimedOut {
+        /// Why and when the watchdog cancelled it.
+        error: String,
+    },
+    /// The cell was quarantined in the checkpoint journal by an earlier
+    /// invocation that exhausted `LLBPX_JOB_RETRIES`; this invocation
+    /// skipped it instead of re-failing.
+    Quarantined {
+        /// The failure that exhausted the retries.
+        error: String,
+    },
+}
+
+impl RunStatus {
+    /// The telemetry `status` label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RunStatus::Ok => "ok",
+            RunStatus::Failed { .. } => "failed",
+            RunStatus::TimedOut { .. } => "timeout",
+            RunStatus::Quarantined { .. } => "quarantined",
+        }
+    }
 }
 
 /// Where a run's branch records came from under the experiment engine.
@@ -85,6 +112,12 @@ pub struct RunResult {
     /// Whether this result was restored from a checkpoint journal instead
     /// of simulated in this invocation.
     pub resumed: bool,
+    /// Whether memory pressure demoted this run from the shared trace
+    /// cache to streaming (results identical, attribution differs).
+    pub degraded: bool,
+    /// Attempts the supervision layer made at this cell (0 = untracked,
+    /// e.g. direct [`Simulation::run`] calls or checkpoint restores).
+    pub attempts: u32,
 }
 
 impl RunResult {
@@ -99,16 +132,42 @@ impl RunResult {
         }
     }
 
-    /// Whether the cell failed (the accuracy fields are meaningless then).
-    pub fn is_failed(&self) -> bool {
-        matches!(self.status, RunStatus::Failed { .. })
+    /// A placeholder result for a matrix cell that errored, with the
+    /// status matching the error's kind (failed / timeout / quarantined);
+    /// coordinators render these as `n/a` rows.
+    pub fn from_job_error(err: &JobError) -> RunResult {
+        let error = err.message.clone();
+        RunResult {
+            name: err
+                .predictor
+                .clone()
+                .unwrap_or_else(|| "(failed)".to_owned()),
+            workload: err.workload.clone(),
+            status: match err.kind {
+                JobErrorKind::Panic => RunStatus::Failed { error },
+                JobErrorKind::TimedOut | JobErrorKind::Stalled => {
+                    RunStatus::TimedOut { error }
+                }
+                JobErrorKind::Quarantined => RunStatus::Quarantined { error },
+            },
+            attempts: err.attempts,
+            ..RunResult::default()
+        }
     }
 
-    /// The captured failure message, if the cell failed.
+    /// Whether the cell did not complete (the accuracy fields are
+    /// meaningless then): panicked, timed out, or quarantined.
+    pub fn is_failed(&self) -> bool {
+        !matches!(self.status, RunStatus::Ok)
+    }
+
+    /// The captured failure message, if the cell did not complete.
     pub fn error(&self) -> Option<&str> {
         match &self.status {
             RunStatus::Ok => None,
-            RunStatus::Failed { error } => Some(error),
+            RunStatus::Failed { error }
+            | RunStatus::TimedOut { error }
+            | RunStatus::Quarantined { error } => Some(error),
         }
     }
     /// Mispredictions per kilo-instruction.
@@ -156,10 +215,7 @@ impl RunResult {
                 .unwrap_or_default(),
             intervals: std::mem::take(&mut self.intervals),
             profile: std::mem::take(&mut self.profile),
-            status: match &self.status {
-                RunStatus::Ok => "ok".to_owned(),
-                RunStatus::Failed { .. } => "failed".to_owned(),
-            },
+            status: self.status.as_str().to_owned(),
             error: self.error().map(str::to_owned),
             trace_source: if self.is_failed() {
                 String::new()
@@ -167,10 +223,37 @@ impl RunResult {
                 self.trace_source.as_str().to_owned()
             },
             resumed: self.resumed,
+            degraded: self.degraded,
+            attempts: u64::from(self.attempts),
             extra: Vec::new(),
         }
     }
 }
+
+fn parse_instruction_count(raw: &str) -> Option<u64> {
+    raw.replace('_', "").parse::<u64>().ok()
+}
+
+/// `REPRO_WARMUP` knob: warmup instruction budget.
+pub static WARMUP: Knob<u64> = Knob::new(
+    "REPRO_WARMUP",
+    "an instruction count",
+    "using the default budget",
+    parse_instruction_count,
+);
+
+/// `REPRO_INSTRUCTIONS` knob: measurement instruction budget.
+pub static MEASURE: Knob<u64> = Knob::new(
+    "REPRO_INSTRUCTIONS",
+    "an instruction count",
+    "using the default budget",
+    parse_instruction_count,
+);
+
+/// Records between supervision heartbeat bumps / cancellation checks in
+/// the hot loop: one relaxed atomic op per stride keeps the overhead
+/// unmeasurable while bounding cancellation latency to ~a stride of work.
+pub const HEARTBEAT_STRIDE: u32 = 1024;
 
 /// Warmup/measurement protocol, in instructions (the paper warms 100M and
 /// measures 200M; scale to taste via [`Simulation::from_env`]).
@@ -192,22 +275,13 @@ impl Simulation {
     /// (instruction counts), falling back to [`Simulation::quick`]. The
     /// experiment binaries all use this, so one variable rescales every
     /// figure. A set-but-unparsable value falls back too, with a
-    /// once-per-key warning on stderr (via [`crate::env::env_parse_or_warn`])
-    /// so a typo'd budget doesn't invisibly shrink a run.
+    /// once-per-key warning on stderr (via [`crate::env::Knob`]) so a
+    /// typo'd budget doesn't invisibly shrink a run.
     pub fn from_env() -> Self {
         let quick = Simulation::quick();
-        let parse = |key: &str, default: u64| {
-            crate::env::env_parse_or_warn(
-                key,
-                "an instruction count",
-                "using the default budget",
-                |raw| raw.replace('_', "").parse::<u64>().ok(),
-                || default,
-            )
-        };
         Simulation {
-            warmup_instructions: parse("REPRO_WARMUP", quick.warmup_instructions),
-            measure_instructions: parse("REPRO_INSTRUCTIONS", quick.measure_instructions),
+            warmup_instructions: WARMUP.get(|| quick.warmup_instructions),
+            measure_instructions: MEASURE.get(|| quick.measure_instructions),
         }
     }
 
@@ -243,8 +317,40 @@ impl Simulation {
         P: SimPredictor + ?Sized,
         S: BranchStream + ?Sized,
     {
+        match self.run_stream_watched(predictor, stream, workload, &JobTicket::unsupervised()) {
+            Ok(result) => result,
+            Err(_) => unreachable!("an unsupervised ticket is never cancelled"),
+        }
+    }
+
+    /// [`Simulation::run_stream`] under supervision: the hot loop bumps
+    /// `ticket`'s heartbeat and polls its cancel flag every
+    /// [`HEARTBEAT_STRIDE`] records, returning [`Cancelled`] when the
+    /// watchdog raised the flag. The heartbeat never influences simulated
+    /// state, so supervised and unsupervised runs are bit-identical.
+    pub fn run_stream_watched<P, S>(
+        &self,
+        predictor: &mut P,
+        stream: &mut S,
+        workload: &str,
+        ticket: &JobTicket,
+    ) -> Result<RunResult, Cancelled>
+    where
+        P: SimPredictor + ?Sized,
+        S: BranchStream + ?Sized,
+    {
         let started = Instant::now();
         let profile_before = telemetry::profile::snapshot();
+        let mut since_check: u32 = 0;
+        let mut check = || -> Option<CancelReason> {
+            since_check += 1;
+            if since_check >= HEARTBEAT_STRIDE {
+                since_check = 0;
+                ticket.bump();
+                return ticket.cancelled();
+            }
+            None
+        };
 
         // Warmup.
         let mut elapsed = 0u64;
@@ -252,6 +358,9 @@ impl Simulation {
             let Some(rec) = stream.next_branch() else { break };
             elapsed += rec.instructions();
             predictor.process(&rec);
+            if let Some(reason) = check() {
+                return Err(Cancelled { reason, instructions: elapsed });
+            }
         }
         // Second-level counters are cumulative; snapshot them so the
         // result reports the measurement phase only.
@@ -288,6 +397,12 @@ impl Simulation {
             if result.instructions >= recorder.next_boundary() {
                 recorder.observe(snapshot_counters(&result, predictor, warm_stats.as_ref()));
             }
+            if let Some(reason) = check() {
+                return Err(Cancelled {
+                    reason,
+                    instructions: elapsed + result.instructions,
+                });
+            }
         }
         predictor.finish();
         // Invariants are cumulative-state properties; check them before the
@@ -303,7 +418,7 @@ impl Simulation {
         });
         result.profile = telemetry::profile::since(&profile_before);
         result.wall_seconds = started.elapsed().as_secs_f64();
-        result
+        Ok(result)
     }
 }
 
@@ -449,6 +564,68 @@ mod tests {
             Some(r.llbp.as_ref().unwrap().cond_branches as i64)
         );
         assert!((json.get("mpki").unwrap().as_f64().unwrap() - r.mpki()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a_cancelled_ticket_stops_the_run_within_a_stride() {
+        use crate::supervise::CancelReason;
+        let sim = Simulation { warmup_instructions: 0, measure_instructions: u64::MAX };
+        let ticket = JobTicket::new(0);
+        ticket.cancel(CancelReason::Stalled);
+        let mut stream = ServerWorkload::new(&tiny_spec());
+        let cancelled = sim
+            .run_stream_watched(
+                &mut TageScl::new(TslConfig::kilobytes(64)),
+                &mut stream,
+                "tiny",
+                &ticket,
+            )
+            .expect_err("a pre-cancelled ticket must stop the run");
+        assert_eq!(cancelled.reason, CancelReason::Stalled);
+        assert!(cancelled.instructions > 0, "it ran up to the first check");
+        assert!(ticket.heartbeat() >= 1, "the loop beat before noticing");
+    }
+
+    #[test]
+    fn watched_and_unwatched_runs_are_bit_identical() {
+        let sim = tiny_sim();
+        let plain = sim.run(&mut TageScl::new(TslConfig::kilobytes(64)), &tiny_spec());
+        let mut stream = ServerWorkload::new(&tiny_spec());
+        let ticket = JobTicket::new(0);
+        let watched = sim
+            .run_stream_watched(
+                &mut TageScl::new(TslConfig::kilobytes(64)),
+                &mut stream,
+                "tiny",
+                &ticket,
+            )
+            .expect("never cancelled");
+        assert_eq!(plain.mispredicts, watched.mispredicts);
+        assert_eq!(plain.instructions, watched.instructions);
+        assert_eq!(plain.intervals, watched.intervals);
+        assert!(ticket.heartbeat() > 0, "the hot loop published progress");
+    }
+
+    #[test]
+    fn statuses_map_to_labels_and_placeholders() {
+        use crate::error::{JobError, JobErrorKind};
+        assert_eq!(RunStatus::Ok.as_str(), "ok");
+        assert_eq!(RunStatus::TimedOut { error: "e".into() }.as_str(), "timeout");
+        assert_eq!(RunStatus::Quarantined { error: "e".into() }.as_str(), "quarantined");
+        let err = JobError {
+            kind: JobErrorKind::Stalled,
+            attempts: 2,
+            ..JobError::panic(1, "w", Some("LLBP".into()), None, "no progress".into())
+        };
+        let r = RunResult::from_job_error(&err);
+        assert!(r.is_failed());
+        assert_eq!(r.status.as_str(), "timeout");
+        assert_eq!(r.error(), Some("no progress"));
+        assert_eq!(r.attempts, 2);
+        let mut r = r;
+        let rec = r.take_record(&tiny_sim());
+        assert_eq!(rec.status, "timeout");
+        assert_eq!(rec.attempts, 2);
     }
 
     #[test]

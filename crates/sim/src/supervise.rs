@@ -1,0 +1,465 @@
+//! Job supervision: wall-clock deadlines, a stall watchdog over the
+//! runner's heartbeat, cooperative cancellation, and the deterministic
+//! retry/backoff schedule.
+//!
+//! Rust threads cannot be killed, so a hung matrix cell is cancelled
+//! *cooperatively*: the simulation hot loop publishes a cheap heartbeat
+//! (one relaxed atomic bump every [`crate::runner::HEARTBEAT_STRIDE`]
+//! records) into its [`JobTicket`] and checks the ticket's cancel flag at
+//! the same cadence. A single background [`Watchdog`] thread scans every
+//! registered ticket and raises the flag when the job exceeds
+//! `LLBPX_JOB_TIMEOUT` (wall-clock deadline) or makes no heartbeat
+//! progress for `LLBPX_STALL_TIMEOUT`. The cancelled job unwinds into a
+//! structured [`crate::error::JobError`] with kind `TimedOut`/`Stalled` —
+//! an `n/a` table row and `status:"timeout"` in telemetry — instead of
+//! wedging the sweep.
+//!
+//! Retries are deterministic by construction: whether a cell is retried
+//! depends only on the error kind and `LLBPX_JOB_RETRIES`, and the backoff
+//! duration is a pure function of `(seed, cell index, attempt)` via
+//! [`retry_backoff`] — no wall-clock randomness, so the same seed and
+//! matrix produce byte-identical result tables at any thread count.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use telemetry::prng::SplitMix64;
+
+use crate::env::Knob;
+
+/// Environment variable: wall-clock deadline per job attempt, in seconds
+/// (fractional allowed; `0` disables the deadline).
+pub const ENV_JOB_TIMEOUT: &str = "LLBPX_JOB_TIMEOUT";
+
+/// Environment variable: maximum time without heartbeat progress before a
+/// job counts as stalled, in seconds (fractional allowed; `0` disables).
+pub const ENV_STALL_TIMEOUT: &str = "LLBPX_STALL_TIMEOUT";
+
+/// Environment variable: how many times a failed cell is re-attempted
+/// before it counts as permanently failed (and, under a checkpoint,
+/// quarantined). Default `0`: fail on the first error, exactly the
+/// pre-supervision behavior.
+pub const ENV_JOB_RETRIES: &str = "LLBPX_JOB_RETRIES";
+
+fn parse_timeout(raw: &str) -> Option<Option<Duration>> {
+    let secs: f64 = raw.parse().ok()?;
+    if !secs.is_finite() || secs < 0.0 {
+        return None;
+    }
+    Some((secs > 0.0).then(|| Duration::from_secs_f64(secs)))
+}
+
+fn parse_retries(raw: &str) -> Option<u32> {
+    raw.parse().ok()
+}
+
+/// [`ENV_JOB_TIMEOUT`] knob.
+pub static JOB_TIMEOUT: Knob<Option<Duration>> = Knob::new(
+    ENV_JOB_TIMEOUT,
+    "a non-negative number of seconds (0 disables the deadline)",
+    "leaving the deadline off",
+    parse_timeout,
+);
+
+/// [`ENV_STALL_TIMEOUT`] knob.
+pub static STALL_TIMEOUT: Knob<Option<Duration>> = Knob::new(
+    ENV_STALL_TIMEOUT,
+    "a non-negative number of seconds (0 disables stall detection)",
+    "leaving stall detection off",
+    parse_timeout,
+);
+
+/// [`ENV_JOB_RETRIES`] knob.
+pub static JOB_RETRIES: Knob<u32> = Knob::new(
+    ENV_JOB_RETRIES,
+    "a non-negative retry count",
+    "not retrying failed cells",
+    parse_retries,
+);
+
+/// How the engine supervises matrix cells. `Default` is fully off — no
+/// watchdog thread, no retries — which is byte-for-byte the
+/// pre-supervision engine behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuperviseConfig {
+    /// Wall-clock deadline per job attempt (`None` = no deadline).
+    pub job_timeout: Option<Duration>,
+    /// Maximum time without heartbeat progress (`None` = no stall check).
+    pub stall_timeout: Option<Duration>,
+    /// Re-attempts after a failed attempt before the cell counts as
+    /// permanently failed.
+    pub retries: u32,
+}
+
+impl SuperviseConfig {
+    /// Reads `LLBPX_JOB_TIMEOUT`, `LLBPX_STALL_TIMEOUT` and
+    /// `LLBPX_JOB_RETRIES` from the environment.
+    pub fn from_env() -> Self {
+        SuperviseConfig {
+            job_timeout: JOB_TIMEOUT.get(|| None),
+            stall_timeout: STALL_TIMEOUT.get(|| None),
+            retries: JOB_RETRIES.get(|| 0),
+        }
+    }
+
+    /// Whether any timeout is configured (i.e. a watchdog is worth
+    /// spawning).
+    pub fn watched(&self) -> bool {
+        self.job_timeout.is_some() || self.stall_timeout.is_some()
+    }
+
+    /// Whether supervision changes engine behavior at all.
+    pub fn active(&self) -> bool {
+        self.watched() || self.retries > 0
+    }
+}
+
+/// Why a job was cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// The attempt exceeded the wall-clock deadline ([`ENV_JOB_TIMEOUT`]).
+    DeadlineExceeded,
+    /// The attempt made no heartbeat progress for the stall window
+    /// ([`ENV_STALL_TIMEOUT`]).
+    Stalled,
+}
+
+impl CancelReason {
+    /// Short human label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CancelReason::DeadlineExceeded => "deadline exceeded",
+            CancelReason::Stalled => "stalled",
+        }
+    }
+}
+
+const CANCEL_NONE: u8 = 0;
+const CANCEL_DEADLINE: u8 = 1;
+const CANCEL_STALLED: u8 = 2;
+
+/// Per-attempt supervision handle shared between the worker running a job
+/// and the watchdog: the worker bumps the heartbeat and polls the cancel
+/// flag; the watchdog reads the heartbeat and raises the flag.
+///
+/// The heartbeat is a progress *counter*: only changes matter, not the
+/// absolute value, so any monotone bump source (records simulated, trace
+/// records generated) works.
+#[derive(Debug)]
+pub struct JobTicket {
+    index: usize,
+    started: Instant,
+    heartbeat: AtomicU64,
+    cancel: AtomicU8,
+}
+
+impl JobTicket {
+    /// A ticket for matrix cell `index`, started now.
+    pub fn new(index: usize) -> Self {
+        JobTicket {
+            index,
+            started: Instant::now(),
+            heartbeat: AtomicU64::new(0),
+            cancel: AtomicU8::new(CANCEL_NONE),
+        }
+    }
+
+    /// A ticket nobody watches, for unsupervised runs ([`crate::runner`]'s
+    /// plain entry points). Its cancel flag never rises.
+    pub fn unsupervised() -> Self {
+        JobTicket::new(usize::MAX)
+    }
+
+    /// The matrix cell this ticket supervises.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Records one unit of progress (relaxed; called from the hot loop).
+    #[inline]
+    pub fn bump(&self) {
+        self.heartbeat.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current heartbeat value (watchdog side).
+    pub fn heartbeat(&self) -> u64 {
+        self.heartbeat.load(Ordering::Relaxed)
+    }
+
+    /// Wall time since the attempt started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Raises the cancel flag. The first reason wins; later calls are
+    /// ignored so a job observes one consistent cause.
+    pub fn cancel(&self, reason: CancelReason) {
+        let code = match reason {
+            CancelReason::DeadlineExceeded => CANCEL_DEADLINE,
+            CancelReason::Stalled => CANCEL_STALLED,
+        };
+        let _ = self.cancel.compare_exchange(
+            CANCEL_NONE,
+            code,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Whether (and why) this job has been cancelled.
+    #[inline]
+    pub fn cancelled(&self) -> Option<CancelReason> {
+        match self.cancel.load(Ordering::Relaxed) {
+            CANCEL_NONE => None,
+            CANCEL_DEADLINE => Some(CancelReason::DeadlineExceeded),
+            _ => Some(CancelReason::Stalled),
+        }
+    }
+}
+
+/// A cancelled simulation attempt: why, and how far it got.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled {
+    /// Why the watchdog raised the flag.
+    pub reason: CancelReason,
+    /// Instructions the attempt had simulated when it noticed.
+    pub instructions: u64,
+}
+
+struct Watched {
+    ticket: Arc<JobTicket>,
+    last_beat: u64,
+    last_change: Instant,
+}
+
+struct WatchdogShared {
+    config: SuperviseConfig,
+    stop: AtomicBool,
+    watched: Mutex<Vec<Watched>>,
+}
+
+impl WatchdogShared {
+    fn scan(&self, now: Instant) {
+        let mut watched =
+            self.watched.lock().unwrap_or_else(PoisonError::into_inner);
+        for w in watched.iter_mut() {
+            if let Some(deadline) = self.config.job_timeout {
+                if now.duration_since(w.ticket.started) > deadline {
+                    w.ticket.cancel(CancelReason::DeadlineExceeded);
+                    continue;
+                }
+            }
+            let beat = w.ticket.heartbeat();
+            if beat != w.last_beat {
+                w.last_beat = beat;
+                w.last_change = now;
+            } else if let Some(window) = self.config.stall_timeout {
+                if now.duration_since(w.last_change) > window {
+                    w.ticket.cancel(CancelReason::Stalled);
+                }
+            }
+        }
+    }
+}
+
+/// Deregisters its ticket from the watchdog when the attempt finishes
+/// (normally or by unwind), so the watchdog never cancels a dead ticket's
+/// successor by mistake.
+pub struct WatchGuard<'a> {
+    watchdog: &'a Watchdog,
+    ticket: Arc<JobTicket>,
+}
+
+impl Drop for WatchGuard<'_> {
+    fn drop(&mut self) {
+        let mut watched = self
+            .watchdog
+            .shared
+            .watched
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        watched.retain(|w| !Arc::ptr_eq(&w.ticket, &self.ticket));
+    }
+}
+
+/// One background thread enforcing the configured timeouts over every
+/// registered [`JobTicket`]. Spawned once per matrix (only when a timeout
+/// is configured) and joined on drop.
+pub struct Watchdog {
+    shared: Arc<WatchdogShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Spawns the watchdog thread for `config`.
+    pub fn spawn(config: SuperviseConfig) -> Self {
+        let shared = Arc::new(WatchdogShared {
+            config,
+            stop: AtomicBool::new(false),
+            watched: Mutex::new(Vec::new()),
+        });
+        let tick = tick_interval(&config);
+        let scanner = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || {
+            while !scanner.stop.load(Ordering::Relaxed) {
+                scanner.scan(Instant::now());
+                std::thread::park_timeout(tick);
+            }
+        });
+        Watchdog { shared, handle: Some(handle) }
+    }
+
+    /// Registers `ticket`; the returned guard deregisters it on drop.
+    pub fn watch(&self, ticket: Arc<JobTicket>) -> WatchGuard<'_> {
+        let now = Instant::now();
+        let mut watched =
+            self.shared.watched.lock().unwrap_or_else(PoisonError::into_inner);
+        watched.push(Watched {
+            last_beat: ticket.heartbeat(),
+            last_change: now,
+            ticket: Arc::clone(&ticket),
+        });
+        drop(watched);
+        WatchGuard { watchdog: self, ticket }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Scan cadence: a quarter of the tightest configured window, clamped to
+/// [2ms, 50ms] so detection latency stays small without burning CPU.
+fn tick_interval(config: &SuperviseConfig) -> Duration {
+    let tightest = match (config.job_timeout, config.stall_timeout) {
+        (Some(a), Some(b)) => a.min(b),
+        (Some(a), None) | (None, Some(a)) => a,
+        (None, None) => Duration::from_millis(200),
+    };
+    (tightest / 4).clamp(Duration::from_millis(2), Duration::from_millis(50))
+}
+
+/// The deterministic backoff before re-attempting cell `index` after
+/// failed attempt `attempt` (0-based): an exponential base (10ms doubling,
+/// capped at 320ms) plus seeded jitter of at most the base. A pure
+/// function of its arguments — resumed or re-run sweeps sleep the same
+/// schedule, and the sleep never influences any simulated result.
+pub fn retry_backoff(seed: u64, index: usize, attempt: u32) -> Duration {
+    let base = 10u64 << attempt.min(5);
+    let mut rng = SplitMix64::new(
+        seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(attempt),
+    );
+    Duration::from_millis(base + rng.next_below(base + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticket_cancel_first_reason_wins() {
+        let t = JobTicket::new(3);
+        assert_eq!(t.cancelled(), None);
+        t.cancel(CancelReason::Stalled);
+        t.cancel(CancelReason::DeadlineExceeded);
+        assert_eq!(t.cancelled(), Some(CancelReason::Stalled));
+        assert_eq!(t.index(), 3);
+    }
+
+    #[test]
+    fn watchdog_cancels_a_silent_ticket_for_stalling() {
+        let config = SuperviseConfig {
+            stall_timeout: Some(Duration::from_millis(30)),
+            ..SuperviseConfig::default()
+        };
+        let watchdog = Watchdog::spawn(config);
+        let ticket = Arc::new(JobTicket::new(0));
+        let _guard = watchdog.watch(Arc::clone(&ticket));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while ticket.cancelled().is_none() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(ticket.cancelled(), Some(CancelReason::Stalled));
+    }
+
+    #[test]
+    fn watchdog_spares_a_beating_ticket_but_enforces_the_deadline() {
+        let config = SuperviseConfig {
+            job_timeout: Some(Duration::from_millis(120)),
+            stall_timeout: Some(Duration::from_millis(40)),
+            ..SuperviseConfig::default()
+        };
+        let watchdog = Watchdog::spawn(config);
+        let ticket = Arc::new(JobTicket::new(0));
+        let _guard = watchdog.watch(Arc::clone(&ticket));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while ticket.cancelled().is_none() && Instant::now() < deadline {
+            ticket.bump(); // steady heartbeat: never stalls...
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // ...so only the wall-clock deadline can have fired.
+        assert_eq!(ticket.cancelled(), Some(CancelReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn unwatched_tickets_are_never_cancelled() {
+        let config = SuperviseConfig {
+            job_timeout: Some(Duration::from_millis(5)),
+            stall_timeout: Some(Duration::from_millis(5)),
+            ..SuperviseConfig::default()
+        };
+        let watchdog = Watchdog::spawn(config);
+        let ticket = Arc::new(JobTicket::new(0));
+        {
+            let _guard = watchdog.watch(Arc::clone(&ticket));
+        } // deregistered immediately
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(ticket.cancelled(), None, "a dropped guard must deregister");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_grows() {
+        for seed in [0u64, 7, 0xDEAD] {
+            for index in 0..4usize {
+                for attempt in 0..6u32 {
+                    let a = retry_backoff(seed, index, attempt);
+                    let b = retry_backoff(seed, index, attempt);
+                    assert_eq!(a, b, "pure function of (seed, index, attempt)");
+                    let base = 10u64 << attempt.min(5);
+                    assert!(a >= Duration::from_millis(base));
+                    assert!(a <= Duration::from_millis(2 * base));
+                }
+            }
+        }
+        // A single sample can collide (the attempt-0 jitter range is only
+        // 11ms wide); the full schedule across indices and attempts must
+        // not.
+        let schedule = |seed: u64| -> Vec<Duration> {
+            (0..4usize)
+                .flat_map(|index| (0..8u32).map(move |attempt| (index, attempt)))
+                .map(|(index, attempt)| retry_backoff(seed, index, attempt))
+                .collect()
+        };
+        assert_ne!(schedule(1), schedule(2), "different seeds jitter differently");
+    }
+
+    #[test]
+    fn config_predicates() {
+        assert!(!SuperviseConfig::default().active());
+        let retries = SuperviseConfig { retries: 2, ..SuperviseConfig::default() };
+        assert!(retries.active() && !retries.watched());
+        let timeout = SuperviseConfig {
+            job_timeout: Some(Duration::from_secs(1)),
+            ..SuperviseConfig::default()
+        };
+        assert!(timeout.active() && timeout.watched());
+    }
+}

@@ -38,6 +38,8 @@
 //! assert!(mispredicts < 40, "TSL should learn a fixed loop, got {mispredicts}");
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod bimodal;
 pub mod config;
 pub mod folded;

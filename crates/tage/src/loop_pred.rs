@@ -160,7 +160,7 @@ impl LoopPredictor {
             let base = self.set_base(pc);
             let victim = (base..base + self.ways)
                 .min_by_key(|&i| (self.entries[i].valid, self.entries[i].age))
-                .expect("ways > 0");
+                .unwrap_or_else(|| unreachable!("ways > 0"));
             let v = &mut self.entries[victim];
             if v.valid && v.age > 0 {
                 v.age -= 1; // protected: age out instead of replacing

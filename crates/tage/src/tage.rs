@@ -150,7 +150,7 @@ impl Tage {
             Some(t) => {
                 let e = self.tables[t]
                     .lookup(indices[t], tags[t], pc)
-                    .expect("provider entry just matched");
+                    .unwrap_or_else(|| unreachable!("provider entry just matched"));
                 (e.taken(), e.is_weak(), e.is_confident())
             }
             None => (bim, false, self.bimodal.confident(pc)),
@@ -158,7 +158,7 @@ impl Tage {
         let alt_pred = match alt_provider {
             Some(t) => self.tables[t]
                 .lookup(indices[t], tags[t], pc)
-                .expect("alternate entry just matched")
+                .unwrap_or_else(|| unreachable!("alternate entry just matched"))
                 .taken(),
             None => bim,
         };
@@ -206,7 +206,7 @@ impl Tage {
             }
             let entry = self.tables[t]
                 .lookup_mut(info.indices[t], info.tags[t], pc)
-                .expect("provider entry present during update");
+                .unwrap_or_else(|| unreachable!("provider entry present during update"));
             // Useful bit: provider beat a disagreeing alternate.
             if info.provider_pred != info.alt_pred {
                 if info.provider_pred == taken {

@@ -391,7 +391,9 @@ impl<'a> Parser<'a> {
                     }
                     out.push_str(
                         std::str::from_utf8(&self.bytes[start..self.pos])
-                            .expect("input was a valid &str"),
+                            .unwrap_or_else(|_| {
+                                unreachable!("input was a valid &str")
+                            }),
                     );
                 }
             }
@@ -436,7 +438,7 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number slice is ASCII");
+            .unwrap_or_else(|_| unreachable!("number slice is ASCII"));
         if !is_float {
             if let Ok(i) = text.parse::<i64>() {
                 return Ok(Json::Int(i));

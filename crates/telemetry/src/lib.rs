@@ -17,6 +17,8 @@
 //!   the randomized tests across the workspace (in place of the former
 //!   crates-io `rand` dependency).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod interval;
 pub mod json;
 pub mod profile;

@@ -17,15 +17,21 @@ use crate::profile::ScopeTotals;
 
 /// Schema identifier written into every emitted record line.
 ///
-/// v2 is a strict superset of v1: every run record additionally carries a
-/// `status` field (`"ok"` / `"failed"`), an `error` message on failed
-/// cells, the per-run `trace_cache` attribution
-/// (`"streamed"` / `"materialized"`), and `resumed: true` on cells
-/// restored from a checkpoint — readers of [`SCHEMA_V1`] lines keep
-/// working unchanged on v2 lines.
-pub const SCHEMA: &str = "llbpx-telemetry/2";
+/// Each version is a strict superset of the last, so readers of older
+/// schemas keep working unchanged on newer lines. v2 added per-run
+/// `status` (`"ok"` / `"failed"`), `error`, `trace_cache`
+/// (`"streamed"` / `"materialized"`) and `resumed`. v3 adds the
+/// supervision vocabulary: `status` may also be `"timeout"` or
+/// `"quarantined"`, `degraded: true` marks runs demoted to streaming
+/// under memory pressure, `attempts` appears on retried cells, and
+/// engine records may carry `supervision` / `chaos` objects plus
+/// timeout/quarantine/retry counts.
+pub const SCHEMA: &str = "llbpx-telemetry/3";
 
-/// The previous schema identifier, kept for readers that accept both.
+/// The v2 schema identifier, kept for readers that accept several.
+pub const SCHEMA_V2: &str = "llbpx-telemetry/2";
+
+/// The original schema identifier, kept for readers that accept several.
 pub const SCHEMA_V1: &str = "llbpx-telemetry/1";
 
 /// Environment variable enabling telemetry without touching a binary's
@@ -86,6 +92,14 @@ pub struct RunRecord {
     /// Whether this run was restored from a checkpoint journal rather than
     /// simulated in this invocation (schema v2).
     pub resumed: bool,
+    /// Whether this run was demoted to streaming under memory pressure
+    /// instead of replaying the shared materialized trace (schema v3).
+    pub degraded: bool,
+    /// Attempts made at this cell in the invocation that produced the
+    /// record; emitted only when it exceeds one, i.e. the cell was retried
+    /// (schema v3). Zero means unknown/not-applicable (e.g. restored
+    /// cells).
+    pub attempts: u64,
     /// Additional fields appended by outer layers (storage bits, CPI, ...).
     pub extra: Vec<(String, Json)>,
 }
@@ -140,6 +154,12 @@ impl RunRecord {
         }
         if self.resumed {
             j = j.set("resumed", true);
+        }
+        if self.degraded {
+            j = j.set("degraded", true);
+        }
+        if self.attempts >= 2 {
+            j = j.set("attempts", self.attempts);
         }
         for (k, v) in &self.extra {
             j = j.set(k.as_str(), v.clone());
@@ -235,6 +255,9 @@ mod tests {
         assert_eq!(j.get("status").unwrap().as_str(), Some("ok"));
         assert!(j.get("error").is_none());
         assert!(j.get("resumed").is_none());
+        // Schema v3: the degradation/retry fields also stay off clean lines.
+        assert!(j.get("degraded").is_none());
+        assert!(j.get("attempts").is_none());
     }
 
     #[test]
@@ -253,6 +276,26 @@ mod tests {
         assert_eq!(j.get("error").unwrap().as_str(), Some("worker panicked"));
         assert_eq!(j.get("trace_cache").unwrap().as_str(), Some("materialized"));
         assert_eq!(j.get("resumed").unwrap(), &Json::Bool(true));
+    }
+
+    #[test]
+    fn degraded_and_retried_records_emit_v3_fields() {
+        let rec = RunRecord {
+            predictor: "LLBP".into(),
+            workload: "NodeApp".into(),
+            status: "timeout".into(),
+            degraded: true,
+            attempts: 3,
+            ..RunRecord::default()
+        };
+        let j = Json::parse(&rec.to_json().to_string()).expect("round-trips");
+        assert_eq!(j.get("status").unwrap().as_str(), Some("timeout"));
+        assert_eq!(j.get("degraded").unwrap(), &Json::Bool(true));
+        assert_eq!(j.get("attempts").unwrap().as_i64(), Some(3));
+        // A single clean attempt is the norm and stays off the line.
+        let rec = RunRecord { attempts: 1, ..RunRecord::default() };
+        let j = Json::parse(&rec.to_json().to_string()).expect("round-trips");
+        assert!(j.get("attempts").is_none());
     }
 
     #[test]

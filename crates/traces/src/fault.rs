@@ -160,7 +160,7 @@ mod tests {
         fn next_branch(&mut self) -> Option<BranchRecord> {
             self.i += 1;
             self.pc += 0x10;
-            if self.i % 8 == 0 {
+            if self.i.is_multiple_of(8) {
                 let rec = BranchRecord::new(self.pc, 0x1000, BranchKind::UncondDirect, true, 3);
                 self.pc = 0x1000;
                 Some(rec)

@@ -40,6 +40,8 @@
 //! assert!(stats.unconditional_branches() > 500);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod engine;
 pub mod hashing;
 pub mod presets;

@@ -15,11 +15,13 @@ cargo build --release --offline
 echo "== tier-1: test suite =="
 cargo test -q --offline
 
-# The library crates that feed the engine deny unwrap/expect outside tests
-# (see crates/{traces,sim}/src/lib.rs); clippy enforces it when available.
+# The library crates deny unwrap/expect outside tests (see the
+# `#![cfg_attr(not(test), deny(...))]` attribute in each crate's lib.rs);
+# clippy enforces it when available.
 if cargo clippy --version >/dev/null 2>&1; then
-    echo "== lint: clippy unwrap/expect gate (traces, bpsim) =="
-    cargo clippy -q --offline -p traces -p bpsim -- -D warnings
+    echo "== lint: clippy unwrap/expect gate (all library crates) =="
+    cargo clippy -q --offline -p traces -p bpsim -p llbpx -p tage \
+        -p workloads -p pipeline -p telemetry -- -D warnings
 else
     echo "== lint: clippy unavailable, skipping (lib.rs deny attributes still apply) =="
 fi
@@ -48,7 +50,7 @@ def load(path):
         lines = [l for l in f.read().splitlines() if l.strip()]
     assert len(lines) == 1, f"expected one record line, got {len(lines)}"
     rec = json.loads(lines[0])
-    assert rec["schema"] == "llbpx-telemetry/2", rec["schema"]
+    assert rec["schema"] == "llbpx-telemetry/3", rec["schema"]
     assert rec["bench"] == "fig01"
     assert "failed_cells" not in rec, "no cell may fail in the clean smoke"
     assert rec["total_wall_seconds"] > 0
@@ -99,6 +101,56 @@ assert len(ok) == len(rec["runs"]) - 1, "the other cells must complete"
 print(f"ok: 1 of {len(rec['runs'])} cells failed, isolated, exit nonzero")
 EOF
 rm -f "$sink_fault" "$fault_out"
+
+echo "== smoke: watchdog cancels a stalled cell (LLBPX_STALL_TIMEOUT) =="
+# One deliberately-stalled cell under a seeded chaos-style sweep: the
+# watchdog must cancel it within the stall window (the outer `timeout` is
+# the backstop proving the sweep cannot hang), the run must exit nonzero,
+# and telemetry must attribute the cell as status "timeout".
+sink_stall="$(mktemp -t llbpx-verify-stall-XXXXXX.json)"
+stall_out="$(mktemp -t llbpx-verify-stall-XXXXXX.out)"
+if timeout 120 env LLBPX_FAULT_CELL=1:stall LLBPX_STALL_TIMEOUT=2 \
+    LLBPX_JOB_TIMEOUT=60 LLBPX_THREADS=4 REPRO_WORKLOADS=NodeApp,TPCC \
+    REPRO_WARMUP=100000 REPRO_INSTRUCTIONS=400000 \
+    ./target/release/fig01 --json "$sink_stall" >"$stall_out" 2>/dev/null; then
+    echo "error: fig01 exited 0 despite a timed-out cell" >&2
+    exit 1
+fi
+grep -q "n/a" "$stall_out" || { echo "error: no n/a row for the stalled cell" >&2; exit 1; }
+python3 - "$sink_stall" <<'EOF'
+import json, sys
+rec = json.loads(open(sys.argv[1]).read().splitlines()[0])
+assert rec["timed_out_cells"] == 1, rec.get("timed_out_cells")
+timed_out = [r for r in rec["runs"] if r["status"] == "timeout"]
+assert len(timed_out) == 1, [r["status"] for r in rec["runs"]]
+assert "watchdog" in timed_out[0]["error"], timed_out[0]["error"]
+assert rec["supervision"]["stall_timeout_seconds"] == 2.0, rec["supervision"]
+ok = [r for r in rec["runs"] if r["status"] == "ok"]
+assert len(ok) == len(rec["runs"]) - 1, "the other cells must complete"
+print(f"ok: stalled cell cancelled and attributed, {len(ok)} healthy cell(s) completed")
+EOF
+rm -f "$sink_stall" "$stall_out"
+
+echo "== smoke: seeded chaos sweep terminates with full attribution =="
+# A chaotic sweep (every supervision feature armed) must terminate inside
+# the deadline and attribute every cell to a known status.
+sink_chaos="$(mktemp -t llbpx-verify-chaos-XXXXXX.json)"
+timeout 180 env LLBPX_CHAOS_SEED=7 LLBPX_CHAOS_RATE=0.4 LLBPX_JOB_RETRIES=1 \
+    LLBPX_STALL_TIMEOUT=2 LLBPX_JOB_TIMEOUT=30 LLBPX_THREADS=4 \
+    REPRO_WORKLOADS=NodeApp,TPCC REPRO_WARMUP=100000 REPRO_INSTRUCTIONS=400000 \
+    ./target/release/fig01 --json "$sink_chaos" >/dev/null 2>&1 || true
+python3 - "$sink_chaos" <<'EOF'
+import json, sys
+rec = json.loads(open(sys.argv[1]).read().splitlines()[0])
+assert rec["chaos"]["seed"] == 7 and rec["chaos"]["rate"] == 0.4, rec["chaos"]
+statuses = [r["status"] for r in rec["runs"]]
+assert all(s in ("ok", "failed", "timeout", "quarantined") for s in statuses), statuses
+for ev in rec["chaos"]["events"]:
+    assert ev["kind"] and ev["outcome"], ev
+print(f"ok: chaotic sweep terminated; statuses={statuses}, "
+      f"{len(rec['chaos']['events'])} injection(s) attributed")
+EOF
+rm -f "$sink_chaos"
 
 echo "== smoke: kill -9 mid-matrix, resume from LLBPX_CHECKPOINT =="
 ckpt="$(mktemp -t llbpx-verify-ckpt-XXXXXX.jsonl)"

@@ -1,0 +1,217 @@
+//! Seeded chaos soak for the supervised experiment engine.
+//!
+//! Drives in-process matrices through `bpsim`'s engine under a
+//! [`bpsim::ChaosPlan`] and asserts the robustness contract end to end:
+//!
+//! * every chaotic sweep terminates promptly (no hangs — stalls and slow
+//!   cells are cancelled by the watchdog);
+//! * outcomes are a pure function of the chaos seed: the same seed
+//!   produces identical per-cell statuses, metrics and fault attribution
+//!   at 1 worker and at 4 workers, and on repeat runs;
+//! * every injected fault is attributed — failed cells carry structured
+//!   errors whose status is one of `failed` / `timeout` / `quarantined`,
+//!   and the chaos report lists every injection;
+//! * after a chaotic checkpointed sweep, a clean resume completes the
+//!   matrix: completed cells restore bit-identically, exhausted cells are
+//!   skipped as quarantined, and nothing else fails.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bpsim::exec::{run_matrix_opts, EngineOptions, MatrixJob, MatrixReport};
+use bpsim::runner::Simulation;
+use bpsim::{ChaosPlan, JobErrorKind, SuperviseConfig};
+use workloads::WorkloadSpec;
+
+const CHAOS_RATE: f64 = 0.6;
+
+fn tiny_sim() -> Simulation {
+    Simulation { warmup_instructions: 60_000, measure_instructions: 150_000 }
+}
+
+fn specs() -> Vec<WorkloadSpec> {
+    ["ChaosA", "ChaosB", "ChaosC"]
+        .into_iter()
+        .enumerate()
+        .map(|(i, name)| {
+            WorkloadSpec::new(name, 100 + i as u64).with_request_types(64).with_handlers(8)
+        })
+        .collect()
+}
+
+/// Six cells: TSL and LLBP on each of three tiny workloads.
+fn jobs(specs: &[WorkloadSpec]) -> Vec<MatrixJob<'_>> {
+    let mut jobs = Vec::new();
+    for spec in specs {
+        jobs.push(MatrixJob::new(bench::tsl64, spec));
+        jobs.push(MatrixJob::new(bench::llbp, spec));
+    }
+    jobs
+}
+
+fn supervise() -> SuperviseConfig {
+    SuperviseConfig {
+        job_timeout: Some(Duration::from_secs(4)),
+        stall_timeout: Some(Duration::from_millis(1200)),
+        retries: 1,
+    }
+}
+
+fn chaos_opts(seed: u64, threads: usize) -> EngineOptions {
+    EngineOptions {
+        supervise: supervise(),
+        chaos: Some(Arc::new(ChaosPlan::new(seed, CHAOS_RATE))),
+        ..EngineOptions::basic(threads, u64::MAX)
+    }
+}
+
+/// A schedule-independent digest of a report: per-cell outcome plus the
+/// full chaos attribution.
+fn digest(report: &MatrixReport) -> (Vec<String>, Vec<String>) {
+    let cells = report
+        .outputs
+        .iter()
+        .map(|o| match o {
+            Ok(out) => format!(
+                "ok predictor={} workload={} mispredicts={} attempts={} degraded={}",
+                out.result.name,
+                out.result.workload,
+                out.result.mispredicts,
+                out.result.attempts,
+                out.result.degraded,
+            ),
+            Err(e) => format!(
+                "{} cell={} workload={} attempts={}",
+                e.kind.status(),
+                e.index,
+                e.workload,
+                e.attempts
+            ),
+        })
+        .collect();
+    let events = report
+        .chaos
+        .as_ref()
+        .map(|c| {
+            c.events
+                .iter()
+                .map(|e| {
+                    format!("{:?}/{}/{}/{}/{}", e.cell, e.attempt, e.workload, e.kind, e.outcome)
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    (cells, events)
+}
+
+fn run_chaotic(seed: u64, threads: usize) -> (Vec<String>, Vec<String>) {
+    let sim = tiny_sim();
+    let specs = specs();
+    let started = Instant::now();
+    let report = run_matrix_opts(&sim, jobs(&specs), chaos_opts(seed, threads));
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "chaotic sweep (seed {seed}, {threads} threads) must terminate promptly"
+    );
+    // Full attribution: every cell resolves to a known status and every
+    // failure carries a structured, non-empty error.
+    for output in &report.outputs {
+        if let Err(e) = output {
+            assert!(
+                matches!(
+                    e.kind,
+                    JobErrorKind::Panic | JobErrorKind::TimedOut | JobErrorKind::Stalled
+                ),
+                "no journal here, so no quarantines: {e:?}"
+            );
+            assert!(!e.message.is_empty());
+            assert!(e.attempts >= 1, "a failed cell ran at least once: {e:?}");
+        }
+    }
+    digest(&report)
+}
+
+#[test]
+fn chaotic_sweeps_terminate_and_are_deterministic_per_seed() {
+    for seed in [11u64, 12, 13] {
+        let serial = run_chaotic(seed, 1);
+        let fanned = run_chaotic(seed, 4);
+        let again = run_chaotic(seed, 4);
+        assert_eq!(serial, fanned, "seed {seed}: 1 vs 4 workers");
+        assert_eq!(fanned, again, "seed {seed}: repeat run");
+        assert!(!serial.1.is_empty(), "seed {seed} at rate {CHAOS_RATE} injects something");
+    }
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("llbpx-chaos-{tag}-{}.jsonl", std::process::id()))
+}
+
+#[test]
+fn a_clean_resume_completes_a_chaotic_checkpointed_sweep() {
+    use bpsim::checkpoint::Checkpoint;
+
+    let sim = tiny_sim();
+    let specs = specs();
+    let path = tmp("resume");
+    let _ = std::fs::remove_file(&path);
+
+    // Reference: the same matrix with no chaos at all.
+    let reference = run_matrix_opts(&sim, jobs(&specs), EngineOptions::basic(4, u64::MAX));
+    assert_eq!(reference.failed_cells(), 0);
+
+    // Chaotic checkpointed sweep: completed cells are journaled, cells
+    // that exhaust their retry quarantine themselves.
+    let cp = Arc::new(Checkpoint::open(&path).expect("journal opens"));
+    let chaotic = run_matrix_opts(
+        &sim,
+        jobs(&specs),
+        EngineOptions { checkpoint: Some(cp), ..chaos_opts(21, 4) },
+    );
+    assert!(
+        chaotic.failed_cells() > 0,
+        "seed 21 at rate {CHAOS_RATE} must exhaust at least one cell for this test to bite"
+    );
+    assert!(
+        chaotic.outputs.iter().any(Result::is_ok),
+        "seed 21 must also complete at least one cell"
+    );
+
+    // Clean resume: no chaos, same journal. Completed cells restore
+    // bit-identically, exhausted cells are skipped as quarantined, and
+    // nothing else fails — the sweep is fully accounted for.
+    let cp = Arc::new(Checkpoint::open(&path).expect("journal reopens"));
+    assert_eq!(cp.quarantined_len(), chaotic.failed_cells());
+    let resumed = run_matrix_opts(
+        &sim,
+        jobs(&specs),
+        EngineOptions {
+            checkpoint: Some(cp),
+            supervise: supervise(),
+            ..EngineOptions::basic(4, u64::MAX)
+        },
+    );
+    for (i, (before, after)) in chaotic.outputs.iter().zip(&resumed.outputs).enumerate() {
+        match before {
+            Ok(out) => {
+                let restored = after.as_ref().expect("completed cells restore");
+                assert!(restored.result.resumed, "cell {i} restores from the journal");
+                assert_eq!(restored.result.mispredicts, out.result.mispredicts);
+                assert_eq!(
+                    restored.result.mispredicts,
+                    reference.outputs[i].as_ref().expect("reference is clean").result.mispredicts,
+                    "cell {i}: chaos must never change a completed cell's results"
+                );
+            }
+            Err(_) => {
+                let err = after.as_ref().expect_err("exhausted cells stay quarantined");
+                assert_eq!(err.kind, JobErrorKind::Quarantined, "cell {i}");
+                assert_eq!(err.attempts, 0, "cell {i} is skipped, not re-run");
+            }
+        }
+    }
+    assert_eq!(resumed.resumed_cells() + resumed.quarantined_cells(), resumed.outputs.len());
+
+    let _ = std::fs::remove_file(&path);
+}

@@ -66,6 +66,78 @@ fn a_panicking_cell_yields_na_row_failed_status_and_nonzero_exit() {
     assert_eq!(failed[0].get("workload").unwrap().as_str(), Some("NodeApp"));
 }
 
+#[test]
+fn a_stalled_cell_is_cancelled_reported_as_timeout_and_resumable() {
+    let sink = tmp_path("stall.json");
+    let checkpoint = tmp_path("stall.ckpt");
+    let _ = std::fs::remove_file(&sink);
+    let _ = std::fs::remove_file(&checkpoint);
+
+    // Uninterrupted reference for the resume diff below.
+    let clean = fig01().output().expect("fig01 runs");
+    assert!(clean.status.success());
+
+    // Cell 1 (NodeApp's second job) hangs without heartbeat progress; the
+    // watchdog must cancel it within LLBPX_STALL_TIMEOUT, not the 60s
+    // wall-clock deadline, and the sweep must terminate promptly.
+    let started = Instant::now();
+    let output = fig01()
+        .arg("--json")
+        .arg(&sink)
+        .env("LLBPX_FAULT_CELL", "1:stall")
+        .env("LLBPX_STALL_TIMEOUT", "1.5")
+        .env("LLBPX_JOB_TIMEOUT", "60")
+        .env("LLBPX_CHECKPOINT", &checkpoint)
+        .output()
+        .expect("fig01 runs");
+    assert!(
+        started.elapsed() < Duration::from_secs(45),
+        "the stalled sweep must terminate well inside the deadline"
+    );
+    assert!(!output.status.success(), "a timed-out cell must not exit 0");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("timed out"), "stderr attributes the timeout: {stderr}");
+
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let na_row = stdout.lines().find(|l| l.contains("NodeApp")).expect("NodeApp row renders");
+    assert!(na_row.contains("n/a"), "timed-out preset renders as n/a: {na_row}");
+    let tpcc_row = stdout.lines().find(|l| l.contains("TPCC")).expect("TPCC row renders");
+    assert!(!tpcc_row.contains("n/a"), "healthy preset still completes: {tpcc_row}");
+
+    let text = std::fs::read_to_string(&sink).expect("sink was written");
+    let _ = std::fs::remove_file(&sink);
+    let line = Json::parse(text.lines().next().expect("one record line")).expect("valid JSON");
+    assert_eq!(line.get("timed_out_cells").unwrap().as_i64(), Some(1));
+    assert_eq!(line.get("failed_cells").unwrap().as_i64(), Some(1));
+    let runs = line.get("runs").unwrap().as_arr().unwrap();
+    let timed_out: Vec<&Json> = runs
+        .iter()
+        .filter(|r| r.get("status").unwrap().as_str() == Some("timeout"))
+        .collect();
+    assert_eq!(timed_out.len(), 1, "exactly the stalled cell times out");
+    let error = timed_out[0].get("error").unwrap().as_str().unwrap();
+    assert!(error.contains("watchdog"), "error names the watchdog: {error}");
+    assert!(error.contains("LLBPX_STALL_TIMEOUT"), "error names the knob: {error}");
+    let supervision = line.get("supervision").expect("supervision section");
+    assert_eq!(supervision.get("stall_timeout_seconds").unwrap().as_f64(), Some(1.5));
+
+    // Clean re-run against the same journal: the three completed cells
+    // restore, the stalled one simulates, and stdout is byte-identical to
+    // the uninterrupted reference.
+    let resumed = fig01().env("LLBPX_CHECKPOINT", &checkpoint).output().expect("fig01 resumes");
+    let _ = std::fs::remove_file(&checkpoint);
+    assert!(
+        resumed.status.success(),
+        "resume after a timeout failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        stable_stdout(&clean.stdout),
+        stable_stdout(&resumed.stdout),
+        "resume after a timeout must match an uninterrupted run"
+    );
+}
+
 /// Drops the only line that may legitimately differ between a clean run
 /// and a resumed run (total wall time).
 fn stable_stdout(raw: &[u8]) -> String {
