@@ -16,6 +16,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use bpsim::SimPredictor;
+use tage::PredictInput;
 use telemetry::Json;
 use traces::{BranchRecord, BranchStream, StreamExt};
 use workloads::ServerWorkload;
@@ -62,7 +63,7 @@ fn main() {
         let secs = median_seconds(|| {
             let mut p = make();
             for rec in &records {
-                black_box(p.process(rec));
+                black_box(p.process(PredictInput::new(rec)));
             }
         });
         println!("  {name:>8}: {:>10.0} branches/s", BATCH as f64 / secs);

@@ -16,12 +16,13 @@ fn main() -> ExitCode {
     let presets = bench::presets();
     let mut jobs = Vec::new();
     for preset in &presets {
-        jobs.push(bench::job(bench::llbp, &preset.spec));
-        jobs.push(bench::job(
-            || bench::llbpx_with(LlbpxConfig::paper_baseline().without_history_range_selection()),
-            &preset.spec,
-        ));
-        jobs.push(bench::job(bench::llbpx, &preset.spec));
+        jobs.push(bench::JobSpec::new("LLBP").workload(&preset.spec).predictor(bench::llbp));
+        jobs.push(
+            bench::JobSpec::new("LLBP-X no-HRS").workload(&preset.spec).predictor(|| {
+                bench::llbpx_with(LlbpxConfig::paper_baseline().without_history_range_selection())
+            }),
+        );
+        jobs.push(bench::JobSpec::new("LLBP-X").workload(&preset.spec).predictor(bench::llbpx));
     }
     let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
 
@@ -39,11 +40,11 @@ fn main() -> ExitCode {
             ratio_col.push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }
-        table.row(&cells);
+        table.row(cells);
     }
     let depth = 1.0 - geomean(ratios[0].iter().copied());
     let full = 1.0 - geomean(ratios[1].iter().copied());
-    table.row(&["geomean".into(), pct(depth), pct(full)]);
+    table.row(["geomean".into(), pct(depth), pct(full)]);
     print!("{}", table.render());
 
     if full > 0.0 {

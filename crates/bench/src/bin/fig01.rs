@@ -35,8 +35,8 @@ fn main() -> ExitCode {
     // Skylake-class predictor: 64K TSL. SPR-class: larger (128K).
     let mut jobs = Vec::new();
     for preset in &presets {
-        jobs.push(bench::job(bench::tsl64, &preset.spec));
-        jobs.push(bench::job(|| bench::tsl(128), &preset.spec));
+        jobs.push(bench::JobSpec::new("64K TSL").workload(&preset.spec).predictor(bench::tsl64));
+        jobs.push(bench::JobSpec::new("128K TSL").workload(&preset.spec).predictor(|| bench::tsl(128)));
     }
     let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
 
@@ -58,7 +58,7 @@ fn main() -> ExitCode {
 
         let skl_frac = sky_core.branch_stall_fraction(skl.instructions, skl.mispredicts);
         let spr_frac = spr_core.branch_stall_fraction(spr.instructions, spr.mispredicts);
-        table.row(&[
+        table.row([
             preset.spec.name.clone(),
             f3(skl.mpki()),
             f3(spr.mpki()),

@@ -15,11 +15,11 @@ fn main() -> ExitCode {
     let presets = bench::presets();
     let mut jobs = Vec::new();
     for preset in &presets {
-        jobs.push(bench::job(bench::tsl64, &preset.spec));
-        jobs.push(bench::job(bench::llbp, &preset.spec));
-        jobs.push(bench::job(bench::llbp_0lat, &preset.spec));
-        jobs.push(bench::job(|| bench::tsl(512), &preset.spec));
-        jobs.push(bench::job(bench::tsl_inf, &preset.spec));
+        jobs.push(bench::JobSpec::new("64K TSL").workload(&preset.spec).predictor(bench::tsl64));
+        jobs.push(bench::JobSpec::new("LLBP").workload(&preset.spec).predictor(bench::llbp));
+        jobs.push(bench::JobSpec::new("LLBP-0Lat").workload(&preset.spec).predictor(bench::llbp_0lat));
+        jobs.push(bench::JobSpec::new("512K TSL").workload(&preset.spec).predictor(|| bench::tsl(512)));
+        jobs.push(bench::JobSpec::new("Inf TSL").workload(&preset.spec).predictor(bench::tsl_inf));
     }
     let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
 
@@ -37,13 +37,13 @@ fn main() -> ExitCode {
             ratio_col.push(ratio);
             cells.push(f3(ratio));
         }
-        table.row(&cells);
+        table.row(cells);
     }
     let mut avg = vec!["geomean".into(), "-".into()];
     for r in &ratios {
         avg.push(f3(geomean(r.iter().copied())));
     }
-    table.row(&avg);
+    table.row(avg);
     print!("{}", table.render());
 
     println!();

@@ -36,10 +36,13 @@ fn main() -> ExitCode {
     let presets = bench::representative_presets();
     let mut jobs = Vec::new();
     for preset in &presets {
-        jobs.push(bench::job(bench::llbp_0lat, &preset.spec));
-        for (_, cfg) in &steps {
-            let cfg = *cfg;
-            jobs.push(bench::job(move || bench::llbp_with(cfg()), &preset.spec));
+        jobs.push(bench::JobSpec::new("LLBP-0Lat").workload(&preset.spec).predictor(bench::llbp_0lat));
+        for &(step_name, cfg) in &steps {
+            jobs.push(
+                bench::JobSpec::new(format!("LLBP {step_name}"))
+                    .workload(&preset.spec)
+                    .predictor(move || bench::llbp_with(cfg())),
+            );
         }
     }
     let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
@@ -58,13 +61,13 @@ fn main() -> ExitCode {
             ratio_col.push(ratio);
             cells.push(f3(ratio));
         }
-        table.row(&cells);
+        table.row(cells);
     }
     let mut avg = vec!["geomean".into(), "1.000".into()];
     for r in &ratios {
         avg.push(f3(geomean(r.iter().copied())));
     }
-    table.row(&avg);
+    table.row(avg);
     print!("{}", table.render());
 
     println!("\nstepwise reduction relative to the preceding configuration:");

@@ -29,11 +29,11 @@ fn main() -> ExitCode {
     let n = analysis.contexts.len();
     let mut rank = 1usize;
     while rank <= n {
-        table.row(&[format!("{rank}"), format!("{}", analysis.contexts[rank - 1].useful_patterns)]);
+        table.row([format!("{rank}"), format!("{}", analysis.contexts[rank - 1].useful_patterns)]);
         rank *= 2;
     }
     if n > 0 {
-        table.row(&[format!("{n}"), format!("{}", analysis.contexts[n - 1].useful_patterns)]);
+        table.row([format!("{n}"), format!("{}", analysis.contexts[n - 1].useful_patterns)]);
     }
     print!("{}", table.render());
 

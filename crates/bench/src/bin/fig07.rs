@@ -28,7 +28,7 @@ fn main() -> ExitCode {
     let mut rank = 1usize;
     while rank <= n {
         let c = &analysis.contexts[rank - 1];
-        table.row(&[format!("{rank}"), format!("{}", c.useful_patterns), f3(c.avg_history_len)]);
+        table.row([format!("{rank}"), format!("{}", c.useful_patterns), f3(c.avg_history_len)]);
         rank *= 2;
     }
     print!("{}", table.render());

@@ -41,7 +41,7 @@ fn main() -> ExitCode {
         if cells.iter().all(|c| c == "-") {
             continue;
         }
-        table.row(&[len_label(len_idx), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+        table.row([len_label(len_idx), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
     }
     print!("{}", table.render());
 

@@ -39,7 +39,7 @@ fn main() -> ExitCode {
         if base.useful_by_len[len_idx] == 0 {
             continue;
         }
-        table.row(&[
+        table.row([
             len_label(len_idx),
             format!("{}", base.useful_by_len[len_idx]),
             d_shallow[len_idx].map_or("-".into(), pct),

@@ -15,17 +15,18 @@ fn main() -> ExitCode {
     let presets = bench::presets();
     let mut jobs = Vec::new();
     for preset in &presets {
-        jobs.push(bench::job(bench::tsl64, &preset.spec));
-        jobs.push(bench::job(bench::llbp, &preset.spec));
-        jobs.push(bench::job(bench::llbpx, &preset.spec));
+        jobs.push(bench::JobSpec::new("64K TSL").workload(&preset.spec).predictor(bench::tsl64));
+        jobs.push(bench::JobSpec::new("LLBP").workload(&preset.spec).predictor(bench::llbp));
+        jobs.push(bench::JobSpec::new("LLBP-X").workload(&preset.spec).predictor(bench::llbpx));
         // The Opt-W oracle trains on a converged LLBP-X run; that training
         // run executes on the worker that claims this job.
         let (spec, train_sim) = (preset.spec.clone(), sim);
-        jobs.push(bench::job(
-            move || bench::llbpx_opt_w(bench::opt_w_oracle(&spec, &train_sim)),
-            &preset.spec,
-        ));
-        jobs.push(bench::job(|| bench::tsl(512), &preset.spec));
+        jobs.push(
+            bench::JobSpec::new("LLBP-X Opt-W")
+                .workload(&preset.spec)
+                .predictor(move || bench::llbpx_opt_w(bench::opt_w_oracle(&spec, &train_sim))),
+        );
+        jobs.push(bench::JobSpec::new("512K TSL").workload(&preset.spec).predictor(|| bench::tsl(512)));
     }
     let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
 
@@ -42,13 +43,13 @@ fn main() -> ExitCode {
             ratio_col.push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }
-        table.row(&cells);
+        table.row(cells);
     }
     let mut avg = vec!["geomean".into(), "-".into()];
     for r in &ratios {
         avg.push(pct(1.0 - geomean(r.iter().copied())));
     }
-    table.row(&avg);
+    table.row(avg);
     print!("{}", table.render());
 
     let llbp = 1.0 - geomean(ratios[0].iter().copied());

@@ -25,10 +25,10 @@ fn main() -> ExitCode {
         .collect();
     let mut jobs = Vec::new();
     for preset in &presets {
-        jobs.push(bench::job(bench::tsl64, &preset.spec));
-        jobs.push(bench::job(bench::llbp, &preset.spec));
-        jobs.push(bench::job(bench::llbpx, &preset.spec));
-        jobs.push(bench::job(|| bench::tsl(512), &preset.spec));
+        jobs.push(bench::JobSpec::new("64K TSL").workload(&preset.spec).predictor(bench::tsl64));
+        jobs.push(bench::JobSpec::new("LLBP").workload(&preset.spec).predictor(bench::llbp));
+        jobs.push(bench::JobSpec::new("LLBP-X").workload(&preset.spec).predictor(bench::llbpx));
+        jobs.push(bench::JobSpec::new("512K TSL").workload(&preset.spec).predictor(|| bench::tsl(512)));
     }
     let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
 
@@ -47,13 +47,13 @@ fn main() -> ExitCode {
             speedup_col.push(s);
             cells.push(f3(s));
         }
-        table.row(&cells);
+        table.row(cells);
     }
     let mut avg = vec!["geomean".into()];
     for s in &speedups {
         avg.push(f3(geomean(s.iter().copied())));
     }
-    table.row(&avg);
+    table.row(avg);
     print!("{}", table.render());
 
     let g = |i: usize| (geomean(speedups[i].iter().copied()) - 1.0) * 100.0;

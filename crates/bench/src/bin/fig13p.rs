@@ -72,13 +72,13 @@ fn main() -> ExitCode {
             speedup_col.push(s);
             cells.push(f3(s));
         }
-        table.row(&cells);
+        table.row(cells);
     }
     let mut avg = vec!["geomean".into(), "-".into()];
     for s in &speedups {
         avg.push(f3(geomean(s.iter().copied())));
     }
-    table.row(&avg);
+    table.row(avg);
     print!("{}", table.render());
 
     // The pipeline model produces IPC speedups rather than run records;

@@ -23,14 +23,15 @@ fn main() -> ExitCode {
     let mut jobs = Vec::new();
     for preset in &presets {
         for mode in modes {
-            jobs.push(bench::job(
-                move || {
-                    let mut cfg = LlbpxConfig::paper_baseline();
-                    cfg.base.false_path = mode;
-                    bench::llbpx_with(cfg)
-                },
-                &preset.spec,
-            ));
+            jobs.push(
+                bench::JobSpec::new(format!("LLBP-X {mode:?}"))
+                    .workload(&preset.spec)
+                    .predictor(move || {
+                        let mut cfg = LlbpxConfig::paper_baseline();
+                        cfg.base.false_path = mode;
+                        bench::llbpx_with(cfg)
+                    }),
+            );
         }
     }
     let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
@@ -52,7 +53,7 @@ fn main() -> ExitCode {
             acc[mi * 4 + 1].push(late);
             acc[mi * 4 + 2].push(unused);
             acc[mi * 4 + 3].push(r.mpki());
-            table.row(&[
+            table.row([
                 preset.spec.name.clone(),
                 format!("{mode:?}"),
                 pct(on_time),

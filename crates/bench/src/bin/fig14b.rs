@@ -25,9 +25,9 @@ fn main() -> ExitCode {
         .collect();
     let mut jobs = Vec::new();
     for preset in &presets {
-        jobs.push(bench::job(bench::tsl64, &preset.spec));
-        jobs.push(bench::job(|| bench::tsl(128), &preset.spec));
-        jobs.push(bench::job(bench::llbpx, &preset.spec));
+        jobs.push(bench::JobSpec::new("64K TSL").workload(&preset.spec).predictor(bench::tsl64));
+        jobs.push(bench::JobSpec::new("128K TSL").workload(&preset.spec).predictor(|| bench::tsl(128)));
+        jobs.push(bench::JobSpec::new("LLBP-X").workload(&preset.spec).predictor(bench::llbpx));
     }
     let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
 
@@ -46,13 +46,13 @@ fn main() -> ExitCode {
             speedup_col.push(s);
             cells.push(f3(s));
         }
-        table.row(&cells);
+        table.row(cells);
     }
     let mut avg = vec!["geomean".into()];
     for s in &speedups {
         avg.push(f3(geomean(s.iter().copied())));
     }
-    table.row(&avg);
+    table.row(avg);
     print!("{}", table.render());
 
     println!(

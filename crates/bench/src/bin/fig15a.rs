@@ -15,8 +15,8 @@ fn main() -> ExitCode {
     let presets = bench::presets();
     let mut jobs = Vec::new();
     for preset in &presets {
-        jobs.push(bench::job(bench::llbp, &preset.spec));
-        jobs.push(bench::job(bench::llbpx, &preset.spec));
+        jobs.push(bench::JobSpec::new("LLBP").workload(&preset.spec).predictor(bench::llbp));
+        jobs.push(bench::JobSpec::new("LLBP-X").workload(&preset.spec).predictor(bench::llbpx));
     }
     let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
 
@@ -40,7 +40,7 @@ fn main() -> ExitCode {
             .transfer_bits_per_instruction(rx.instructions);
         totals[0].push(lr + lw);
         totals[1].push(xr + xw);
-        table.row(&[
+        table.row([
             preset.spec.name.clone(),
             f3(lr),
             f3(lw),

@@ -19,8 +19,8 @@ fn main() -> ExitCode {
     let presets = bench::presets();
     let mut jobs = Vec::new();
     for preset in &presets {
-        jobs.push(bench::job(bench::llbp, &preset.spec));
-        jobs.push(bench::job(bench::llbpx, &preset.spec));
+        jobs.push(bench::JobSpec::new("LLBP").workload(&preset.spec).predictor(bench::llbp));
+        jobs.push(bench::JobSpec::new("LLBP-X").workload(&preset.spec).predictor(bench::llbpx));
     }
     let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
 
@@ -43,7 +43,7 @@ fn main() -> ExitCode {
         let (_, _, x_ps, x_ctt) = x_model.breakdown(sx);
 
         rel_totals.push(x_total / base_total);
-        table.row(&[
+        table.row([
             preset.spec.name.clone(),
             pct(x_ps / base_ps - 1.0),
             pct(x_ctt / base_total),

@@ -27,16 +27,17 @@ fn main() -> ExitCode {
 
     let mut jobs = Vec::new();
     for preset in &presets {
-        jobs.push(bench::job(bench::tsl64, &preset.spec));
+        jobs.push(bench::JobSpec::new("64K TSL").workload(&preset.spec).predictor(bench::tsl64));
         for &(log2_sets, _) in sweeps {
-            jobs.push(bench::job(
-                move || {
-                    let mut cfg = LlbpxConfig::zero_latency();
-                    cfg.base.cd_log2_sets = log2_sets;
-                    bench::llbpx_with(cfg)
-                },
-                &preset.spec,
-            ));
+            jobs.push(
+                bench::JobSpec::new(format!("LLBP-X CD 2^{log2_sets}"))
+                    .workload(&preset.spec)
+                    .predictor(move || {
+                        let mut cfg = LlbpxConfig::zero_latency();
+                        cfg.base.cd_log2_sets = log2_sets;
+                        bench::llbpx_with(cfg)
+                    }),
+            );
         }
     }
     let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
@@ -54,13 +55,13 @@ fn main() -> ExitCode {
             ratio_col.push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }
-        table.row(&cells);
+        table.row(cells);
     }
     let mut avg = vec!["geomean".to_string()];
     for r in &ratios {
         avg.push(pct(1.0 - geomean(r.iter().copied())));
     }
-    table.row(&avg);
+    table.row(avg);
     print!("{}", table.render());
     bench::footer(
         &sim,

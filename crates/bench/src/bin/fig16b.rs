@@ -25,15 +25,16 @@ fn main() -> ExitCode {
     let mut jobs = Vec::new();
     for preset in &presets {
         for &kb in sizes {
-            jobs.push(bench::job(move || bench::tsl(kb), &preset.spec));
-            jobs.push(bench::job(
-                move || {
-                    let mut cfg = LlbpxConfig::zero_latency();
-                    cfg.base.tsl = TslConfig::kilobytes(kb);
-                    bench::llbpx_with(cfg)
-                },
-                &preset.spec,
-            ));
+            jobs.push(bench::JobSpec::new(format!("{kb}K TSL")).workload(&preset.spec).predictor(move || bench::tsl(kb)));
+            jobs.push(
+                bench::JobSpec::new(format!("LLBP-X {kb}K"))
+                    .workload(&preset.spec)
+                    .predictor(move || {
+                        let mut cfg = LlbpxConfig::zero_latency();
+                        cfg.base.tsl = TslConfig::kilobytes(kb);
+                        bench::llbpx_with(cfg)
+                    }),
+            );
         }
     }
     let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
@@ -52,13 +53,13 @@ fn main() -> ExitCode {
             ratio_col.push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }
-        table.row(&cells);
+        table.row(cells);
     }
     let mut avg = vec!["geomean".to_string()];
     for r in &ratios {
         avg.push(pct(1.0 - geomean(r.iter().copied())));
     }
-    table.row(&avg);
+    table.row(avg);
     print!("{}", table.render());
     bench::footer(
         &sim,

@@ -21,12 +21,13 @@ fn main() -> ExitCode {
     );
     let mut jobs = Vec::new();
     for preset in &presets {
-        jobs.push(bench::job(bench::tsl64, &preset.spec));
+        jobs.push(bench::JobSpec::new("64K TSL").workload(&preset.spec).predictor(bench::tsl64));
         for &h in &h_ths {
-            jobs.push(bench::job(
-                move || bench::llbpx_with(LlbpxConfig::paper_baseline().with_h_th(h)),
-                &preset.spec,
-            ));
+            jobs.push(
+                bench::JobSpec::new(format!("LLBP-X H_th={h}"))
+                    .workload(&preset.spec)
+                    .predictor(move || bench::llbpx_with(LlbpxConfig::paper_baseline().with_h_th(h))),
+            );
         }
     }
     let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
@@ -45,13 +46,13 @@ fn main() -> ExitCode {
             ratio_col.push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }
-        table.row(&cells);
+        table.row(cells);
     }
     let mut avg = vec!["geomean".to_string()];
     for r in &h_ratios {
         avg.push(pct(1.0 - geomean(r.iter().copied())));
     }
-    table.row(&avg);
+    table.row(avg);
     print!("{}", table.render());
 
     // --- CTT size sweep -------------------------------------------------
@@ -65,12 +66,15 @@ fn main() -> ExitCode {
     );
     let mut jobs = Vec::new();
     for preset in &presets {
-        jobs.push(bench::job(bench::tsl64, &preset.spec));
+        jobs.push(bench::JobSpec::new("64K TSL").workload(&preset.spec).predictor(bench::tsl64));
         for &entries in &ctt_sizes {
-            jobs.push(bench::job(
-                move || bench::llbpx_with(LlbpxConfig::paper_baseline().with_ctt_entries(entries)),
-                &preset.spec,
-            ));
+            jobs.push(
+                bench::JobSpec::new(format!("LLBP-X CTT={entries}"))
+                    .workload(&preset.spec)
+                    .predictor(move || {
+                        bench::llbpx_with(LlbpxConfig::paper_baseline().with_ctt_entries(entries))
+                    }),
+            );
         }
     }
     let mut results = bench::run_matrix(&mut telemetry, &sim, jobs).into_iter();
@@ -89,13 +93,13 @@ fn main() -> ExitCode {
             ratio_col.push(r.mpki() / base.mpki());
             cells.push(pct(1.0 - r.mpki() / base.mpki()));
         }
-        table.row(&cells);
+        table.row(cells);
     }
     let mut avg = vec!["geomean".to_string()];
     for r in &c_ratios {
         avg.push(pct(1.0 - geomean(r.iter().copied())));
     }
-    table.row(&avg);
+    table.row(avg);
     print!("{}", table.render());
 
     bench::footer(

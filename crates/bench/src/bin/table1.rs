@@ -15,7 +15,7 @@ fn main() -> ExitCode {
         &["workload", "measured MPKI", "paper MPKI"],
     );
     let presets = bench::presets();
-    let jobs = presets.iter().map(|p| bench::job(bench::tsl64, &p.spec)).collect();
+    let jobs = presets.iter().map(|p| bench::JobSpec::new("64K TSL").workload(&p.spec).predictor(bench::tsl64)).collect();
     let results = bench::run_matrix(&mut telemetry, &sim, jobs);
 
     let mut measured = Vec::new();
@@ -25,9 +25,9 @@ fn main() -> ExitCode {
             continue;
         }
         measured.push(result.mpki());
-        table.row(&[preset.spec.name.clone(), f3(result.mpki()), f3(preset.paper_mpki)]);
+        table.row([preset.spec.name.clone(), f3(result.mpki()), f3(preset.paper_mpki)]);
     }
-    table.row(&["average".into(), f3(mean(measured)), "2.92".into()]);
+    table.row(["average".into(), f3(mean(measured)), "2.92".into()]);
     print!("{}", table.render());
     bench::footer(&sim, "Table I (\u{a7}VI): absolute MPKI 0.26-5.38, avg 2.92");
     bench::exit_status()

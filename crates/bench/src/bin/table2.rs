@@ -27,7 +27,7 @@ fn main() -> ExitCode {
         ("Prefetchers", "I: FDIP, D: BOP, L2: next-line"),
         ("Memory", "DDR4 3200MHz, 12.5 ns RCD/RP/CAS"),
     ] {
-        table.row(&[c.into(), v.into()]);
+        table.row([c.into(), v.into()]);
     }
     print!("{}", table.render());
 
@@ -36,10 +36,10 @@ fn main() -> ExitCode {
         "Analytical core model standing in for gem5 (DESIGN.md)",
         &["parameter", "value"],
     );
-    model.row(&["issue width".into(), format!("{}", core.issue_width)]);
-    model.row(&["base stall CPI".into(), format!("{}", core.base_stall_cpi)]);
-    model.row(&["mispredict penalty".into(), format!("{} cycles", core.mispredict_penalty)]);
-    model.row(&["override bubble (\u{a7}VII-C)".into(), "3 cycles".into()]);
+    model.row(["issue width".into(), format!("{}", core.issue_width)]);
+    model.row(["base stall CPI".into(), format!("{}", core.base_stall_cpi)]);
+    model.row(["mispredict penalty".into(), format!("{} cycles", core.mispredict_penalty)]);
+    model.row(["override bubble (\u{a7}VII-C)".into(), "3 cycles".into()]);
     print!("{}", model.render());
 
     let mut telemetry = bench::Telemetry::new("table2");
@@ -47,7 +47,7 @@ fn main() -> ExitCode {
     let mut budgets = Table::new("Predictor storage budgets", &["design", "KiB"]);
     for design in [bench::tsl64(), bench::tsl(512), bench::llbp(), bench::llbpx()] {
         let bits = design.storage_bits();
-        budgets.row(&[design.name(), format!("{:.0}", bits as f64 / 8.0 / 1024.0)]);
+        budgets.row([design.name(), format!("{:.0}", bits as f64 / 8.0 / 1024.0)]);
         storage = storage.set(design.name(), bits);
     }
     // This binary runs no simulations; its record carries the static

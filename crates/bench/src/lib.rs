@@ -185,15 +185,75 @@ pub fn run(design: &mut Box<dyn SimPredictor>, spec: &WorkloadSpec, sim: &Simula
     sim.run(design.as_mut(), spec)
 }
 
-/// One run-matrix cell: `factory` builds the design on the worker thread
-/// that claims the job. Plain constructors pass directly
-/// (`bench::job(bench::tsl64, &spec)`); configured designs capture their
-/// config (`bench::job(move || bench::llbpx_with(cfg), &spec)`).
-pub fn job(
-    factory: impl Fn() -> Box<dyn SimPredictor> + Send + 'static,
-    spec: &WorkloadSpec,
-) -> MatrixJob<'static> {
-    MatrixJob::new(factory, spec)
+/// Fluent description of one run-matrix cell: a display name, the workload
+/// it runs on, and the predictor factory that builds the design on the
+/// worker thread claiming the job.
+///
+/// ```no_run
+/// # let preset = &workloads::presets::all()[0];
+/// # let mut jobs = Vec::new();
+/// jobs.push(bench::JobSpec::new("64K TSL").workload(&preset.spec).predictor(bench::tsl64));
+/// ```
+///
+/// Plain constructors pass directly to [`JobSpec::predictor`]; configured
+/// designs capture their config in a closure
+/// (`.predictor(move || bench::llbpx_with(cfg))`). The name labels the
+/// cell in engine error reports, so failures name the design, not just
+/// the workload.
+pub struct JobSpec {
+    name: String,
+    workload: Option<WorkloadSpec>,
+    factory: Option<Box<dyn Fn() -> Box<dyn SimPredictor> + Send + 'static>>,
+}
+
+impl JobSpec {
+    /// Starts a cell description named `name` (the design label).
+    pub fn new(name: impl Into<String>) -> Self {
+        JobSpec { name: name.into(), workload: None, factory: None }
+    }
+
+    /// Sets the workload the cell runs on. Cells with equal specs share
+    /// one materialized trace in the engine.
+    #[must_use]
+    pub fn workload(mut self, spec: &WorkloadSpec) -> Self {
+        self.workload = Some(spec.clone());
+        self
+    }
+
+    /// Sets the predictor factory; it runs on the worker thread (and is
+    /// re-invoked on retries, so every attempt starts fresh).
+    #[must_use]
+    pub fn predictor(
+        mut self,
+        factory: impl Fn() -> Box<dyn SimPredictor> + Send + 'static,
+    ) -> Self {
+        self.factory = Some(Box::new(factory));
+        self
+    }
+
+    /// The cell's display label: `name / workload`.
+    pub fn label(&self) -> String {
+        match &self.workload {
+            Some(spec) => format!("{} / {}", self.name, spec.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Converts into the engine's job form.
+    ///
+    /// # Panics
+    ///
+    /// Panics (naming the cell) when `workload` or `predictor` was never
+    /// set — a construction bug in the calling binary.
+    fn build(self) -> MatrixJob<'static> {
+        let workload = self
+            .workload
+            .unwrap_or_else(|| panic!("job `{}` has no workload; call .workload(..)", self.name));
+        let factory = self
+            .factory
+            .unwrap_or_else(|| panic!("job `{}` has no predictor; call .predictor(..)", self.name));
+        MatrixJob { factory, spec: workload }
+    }
 }
 
 /// Runs a matrix of jobs through the parallel experiment engine
@@ -207,8 +267,10 @@ pub fn job(
 pub fn run_matrix(
     telemetry: &mut Telemetry,
     sim: &Simulation,
-    jobs: Vec<MatrixJob<'static>>,
+    jobs: Vec<JobSpec>,
 ) -> Vec<RunResult> {
+    let labels: Vec<String> = jobs.iter().map(JobSpec::label).collect();
+    let jobs: Vec<MatrixJob<'static>> = jobs.into_iter().map(JobSpec::build).collect();
     let report = exec::run_matrix(sim, jobs);
     telemetry.record_engine(&report);
     FAILED_CELLS.fetch_add(report.failed_cells(), Ordering::Relaxed);
@@ -220,14 +282,15 @@ pub fn run_matrix(
     report
         .outputs
         .into_iter()
-        .map(|output| match output {
+        .zip(labels)
+        .map(|(output, label)| match output {
             Ok(mut output) => {
                 telemetry.record_run(&mut output.result, sim, Some(output.storage_bits));
                 output.result
             }
             Err(err) => {
-                eprintln!("error: {err}");
-                let mut result = RunResult::from_job_error(&err);
+                eprintln!("error: cell `{label}`: {err}");
+                let mut result = RunResult::from_job_error(err);
                 telemetry.record_run(&mut result, sim, None);
                 result
             }
@@ -416,6 +479,7 @@ impl Telemetry {
         }
         self.emitted = true;
         let Some(sink) = &self.sink else { return };
+        let run_count = self.runs.len();
         // Elapsed (coordinator) time of the whole invocation — unlike the
         // per-run `wall_seconds`, this does not multiply under concurrency,
         // so threads=1 vs threads=N lines diff into a speedup directly.
@@ -423,7 +487,7 @@ impl Telemetry {
             .set("schema", telemetry::record::SCHEMA)
             .set("bench", self.bench)
             .set("total_wall_seconds", self.started.elapsed().as_secs_f64())
-            .set("runs", Json::Arr(self.runs.clone()));
+            .set("runs", Json::Arr(std::mem::take(&mut self.runs)));
         if !self.extra.iter().any(|(k, _)| k == "threads") {
             line = line.set("threads", exec::threads_from_env() as u64);
         }
@@ -456,8 +520,7 @@ impl Telemetry {
         }
         match telemetry::record::append_line(sink, &line) {
             Ok(()) => eprintln!(
-                "telemetry: appended {} run record(s) to {}",
-                self.runs.len(),
+                "telemetry: appended {run_count} run record(s) to {}",
                 sink.display()
             ),
             Err(e) => eprintln!("telemetry: failed to write {}: {e}", sink.display()),

@@ -7,7 +7,7 @@
 //! ```
 
 use llbpx::{Llbp, LlbpConfig, LlbpxConfig};
-use tage::DirectionPredictor;
+use tage::{DirectionPredictor, PredictInput};
 use traces::{BranchStream, StreamExt};
 use workloads::ServerWorkload;
 
@@ -15,12 +15,12 @@ fn run(p: &mut Llbp, spec: &workloads::WorkloadSpec, n: u64) {
     let mut stream = ServerWorkload::new(spec);
     let mut warm = (&mut stream).take_branches(n / 2);
     while let Some(rec) = warm.next_branch() {
-        p.process(&rec);
+        p.process(PredictInput::new(&rec));
     }
     let (mut instr, mut miss) = (0u64, 0u64);
     let mut meas = (&mut stream).take_branches(n);
     while let Some(rec) = meas.next_branch() {
-        let pred = p.process(&rec);
+        let pred = p.process(PredictInput::new(&rec)).pred;
         instr += rec.instructions();
         if let Some(pr) = pred {
             if pr != rec.taken {

@@ -10,46 +10,66 @@ use tage::{TslConfig, HISTORY_LENGTHS, NUM_TABLES};
 /// (§II-C.4); the "+ No Design Tweaks" limit config keeps all 21, fully
 /// associative. LLBP-X partitions by context depth (§V-C): shallow contexts
 /// use the first 16 lengths (6..=232), deep contexts the last 16 (37..=3000).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Stored inline (no heap) and `Copy`: pattern-set lookup and allocation
+/// consult the active set once per conditional branch, so handing it around
+/// by value must not allocate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LengthSet {
-    /// `HISTORY_LENGTHS` indices supported, ascending.
-    slots: Vec<u8>,
+    /// `HISTORY_LENGTHS` indices supported, ascending; only the first
+    /// `count` entries are meaningful.
+    slots: [u8; NUM_TABLES],
+    /// Number of live entries in `slots`.
+    count: u8,
+    /// Membership bitmask over slot indices, for O(1) `contains`.
+    mask: u32,
     /// Bucketed (4 buckets × 4 slots) or fully associative.
     bucketed: bool,
 }
 
 impl LengthSet {
+    fn from_indices(indices: impl IntoIterator<Item = u8>, bucketed: bool) -> Self {
+        let mut slots = [0u8; NUM_TABLES];
+        let mut count = 0usize;
+        let mut mask = 0u32;
+        for idx in indices {
+            debug_assert!((idx as usize) < NUM_TABLES);
+            slots[count] = idx;
+            count += 1;
+            mask |= 1 << idx;
+        }
+        LengthSet { slots, count: count as u8, mask, bucketed }
+    }
+
     /// The original LLBP selection: 16 of the 21 lengths, bucketed.
     ///
     /// We drop the five least-pattern-bearing intermediate lengths
     /// (indices 1, 4, 8, 12, 14), keeping both endpoints of the range.
     pub fn llbp_default() -> Self {
         let drop = [1usize, 4, 8, 12, 14];
-        let slots = (0..NUM_TABLES)
-            .filter(|i| !drop.contains(i))
-            .map(|i| i as u8)
-            .collect();
-        LengthSet { slots, bucketed: true }
+        Self::from_indices(
+            (0..NUM_TABLES).filter(|i| !drop.contains(i)).map(|i| i as u8),
+            true,
+        )
     }
 
     /// All 21 TAGE lengths, fully associative (limit study).
     pub fn all_lengths() -> Self {
-        LengthSet { slots: (0..NUM_TABLES as u8).collect(), bucketed: false }
+        Self::from_indices(0..NUM_TABLES as u8, false)
     }
 
     /// LLBP-X shallow range: the first 16 lengths (6..=232), bucketed.
     pub fn shallow_range() -> Self {
-        LengthSet { slots: (0..16).collect(), bucketed: true }
+        Self::from_indices(0..16, true)
     }
 
     /// LLBP-X deep range: the last 16 lengths (37..=3000), bucketed.
     pub fn deep_range() -> Self {
-        LengthSet { slots: (NUM_TABLES as u8 - 16..NUM_TABLES as u8).collect(), bucketed: true }
+        Self::from_indices(NUM_TABLES as u8 - 16..NUM_TABLES as u8, true)
     }
 
     /// Supported slots (ascending `HISTORY_LENGTHS` indices).
     pub fn slots(&self) -> &[u8] {
-        &self.slots
+        &self.slots[..self.count as usize]
     }
 
     /// Whether the organization is bucketed.
@@ -59,17 +79,18 @@ impl LengthSet {
 
     /// Number of supported slots.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.count as usize
     }
 
     /// `true` when no lengths are supported (never constructed).
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.count == 0
     }
 
-    /// Whether `len_idx` is a supported history length.
+    /// Whether `len_idx` is a supported history length. O(1) mask test.
+    #[inline]
     pub fn contains(&self, len_idx: u8) -> bool {
-        self.slots.binary_search(&len_idx).is_ok()
+        (len_idx as usize) < NUM_TABLES && (self.mask >> len_idx) & 1 == 1
     }
 
     /// Bucket of a supported slot (0..4), or 0 when fully associative.
@@ -80,14 +101,14 @@ impl LengthSet {
         if !self.bucketed {
             return 0;
         }
-        let rank = self.slots.binary_search(&len_idx).unwrap_or(0);
+        let rank = self.slots().binary_search(&len_idx).unwrap_or(0);
         rank * 4 / self.len().max(1)
     }
 
     /// Smallest supported slot whose history length strictly exceeds
     /// `min_bits`. Returns `None` when even the longest is too short.
     pub fn next_longer(&self, min_bits: usize) -> Option<u8> {
-        self.slots.iter().copied().find(|&s| HISTORY_LENGTHS[s as usize] > min_bits)
+        self.slots().iter().copied().find(|&s| HISTORY_LENGTHS[s as usize] > min_bits)
     }
 }
 

@@ -18,7 +18,7 @@
 //!
 //! ```
 //! use llbpx::{Llbp, LlbpConfig, LlbpxConfig};
-//! use tage::DirectionPredictor;
+//! use tage::{DirectionPredictor, PredictInput};
 //! use traces::BranchRecord;
 //!
 //! // The paper's three main simulated designs:
@@ -26,8 +26,8 @@
 //! let mut llbpx = Llbp::new_x(LlbpxConfig::paper_baseline());
 //!
 //! let rec = BranchRecord::cond(0x40_0000, 0x40_0800, true, 6);
-//! assert!(llbp.process(&rec).is_some());
-//! assert!(llbpx.process(&rec).is_some());
+//! assert!(llbp.process(PredictInput::new(&rec)).pred.is_some());
+//! assert!(llbpx.process(PredictInput::new(&rec)).pred.is_some());
 //! assert!(llbpx.storage_bits() > llbp.storage_bits(), "LLBP-X adds the 9 KiB CTT");
 //! ```
 

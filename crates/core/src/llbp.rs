@@ -18,7 +18,10 @@ use std::collections::{HashMap, VecDeque};
 
 use tage::sc::ScInputConfidence;
 use tage::tsl::TslInfo;
-use tage::{DirectionPredictor, FoldedHistory, TageScl, HISTORY_LENGTHS, NUM_TABLES};
+use tage::{
+    DirectionPredictor, FoldedHistory, PredictInput, TageScl, Update, HISTORY_LENGTHS,
+    NUM_TABLES,
+};
 use traces::BranchRecord;
 
 use crate::buffer::{Evicted, PatternBuffer, PbLookup};
@@ -44,12 +47,12 @@ const BOOT_CTX: SelectedCtx = SelectedCtx { cid: 0x1, cid2: 0x1, deep: false };
 ///
 /// ```
 /// use llbpx::{Llbp, LlbpxConfig};
-/// use tage::DirectionPredictor;
+/// use tage::{DirectionPredictor, PredictInput};
 /// use traces::BranchRecord;
 ///
 /// let mut p = Llbp::new_x(LlbpxConfig::paper_baseline());
 /// let rec = BranchRecord::cond(0x4000, 0x4100, true, 4);
-/// assert!(p.process(&rec).is_some());
+/// assert!(p.process(PredictInput::new(&rec)).pred.is_some());
 /// assert_eq!(p.name(), "LLBP-X");
 /// ```
 #[derive(Debug, Clone)]
@@ -310,7 +313,9 @@ impl Llbp {
         } else {
             self.current_context()
         };
-        let allowed = self.allowed_lengths(cur.deep).clone();
+        // `LengthSet` is `Copy` (inline storage): grabbing it by value costs
+        // a small memcpy and releases the borrow of `self`.
+        let allowed = *self.allowed_lengths(cur.deep);
 
         // --- LLBP pattern match -----------------------------------------
         let m: Option<PatternMatch> = {
@@ -490,7 +495,7 @@ impl Llbp {
         }
 
         let i = self.ensure_pb_set(cur.cid);
-        let allowed = allowed.clone();
+        let allowed = *allowed;
         let entry = self.pb.entry_mut(i);
         entry.set.allocate(tags[alloc_idx as usize], alloc_idx, taken, capacity, &allowed);
         entry.dirty = true;
@@ -620,23 +625,26 @@ impl ReadyIndex for PbLookup {
 }
 
 impl DirectionPredictor for Llbp {
-    fn process(&mut self, record: &BranchRecord) -> Option<bool> {
+    fn process(&mut self, input: PredictInput<'_>) -> Update {
+        let record = input.record;
         self.clock += 1;
-        let out = record
+        let pred = record
             .kind
             .is_conditional()
             .then(|| self.predict_and_train(record));
         // Histories advance after prediction/update, exactly once per
-        // branch, shared between TAGE and the pattern-tag folds.
+        // branch, shared between TAGE and the pattern-tag folds. The newest
+        // history bit is read once for all 42 folds.
         self.tsl.update_history(record);
         let history = self.tsl.history();
+        let inbit = history.bit_unchecked(0);
         for f in self.fold1.iter_mut().chain(self.fold2.iter_mut()) {
-            f.update(history);
+            f.update_with(inbit, history);
         }
         if record.kind.is_unconditional() {
             self.on_unconditional(record);
         }
-        out
+        Update { pred, first_cycle: pred.is_some() && self.last_provided }
     }
 
     fn name(&self) -> String {
@@ -663,6 +671,10 @@ mod tests {
         BranchRecord::cond(pc, pc + 0x100, taken, 4)
     }
 
+    fn drive(p: &mut Llbp, rec: &BranchRecord) -> Option<bool> {
+        p.process(PredictInput::new(rec)).pred
+    }
+
     fn call(pc: u64, target: u64) -> BranchRecord {
         BranchRecord::new(pc, target, BranchKind::DirectCall, true, 4)
     }
@@ -671,9 +683,9 @@ mod tests {
     fn processes_mixed_branch_streams() {
         let mut p = Llbp::new(LlbpConfig::paper_baseline());
         for i in 0..2000u64 {
-            assert!(p.process(&cond(0x1000 + (i % 8) * 64, i % 3 == 0)).is_some());
+            assert!(drive(&mut p, &cond(0x1000 + (i % 8) * 64, i % 3 == 0)).is_some());
             if i % 5 == 0 {
-                assert!(p.process(&call(0x5000 + (i % 4) * 256, 0x9000)).is_none());
+                assert!(drive(&mut p, &call(0x5000 + (i % 4) * 256, 0x9000)).is_none());
             }
         }
         assert_eq!(p.stats().cond_branches, 2000);
@@ -697,15 +709,15 @@ mod tests {
             // real call chain to a handler would). The caller is encoded in
             // PC bit 2 as well, so it reaches the global history.
             for k in 0..6u64 {
-                p.process(&call(0x10_000 + caller * 4 + k * 0x100, 0x20_000 + k * 0x100));
+                drive(&mut p, &call(0x10_000 + caller * 4 + k * 0x100, 0x20_000 + k * 0x100));
             }
             let taken = caller.is_multiple_of(2);
-            let pred = p.process(&cond(0x30_040, taken)).unwrap();
+            let pred = drive(&mut p, &cond(0x30_040, taken)).unwrap();
             if i > 20_000 && pred != taken {
                 wrong += 1;
             }
             for k in 0..6u64 {
-                p.process(&BranchRecord::new(
+                drive(&mut p, &BranchRecord::new(
                     0x30_100 + k * 0x10,
                     0x10_000 + k * 0x10,
                     BranchKind::Return,
@@ -751,9 +763,9 @@ mod tests {
             // written-back sets are prefetched on later visits. The branch
             // outcome is unpredictable, forcing allocations (and therefore
             // pattern sets, writebacks and prefetch fills) everywhere.
-            p.process(&call(0x10_000 + (x % 2) * 0x40, 0x20_000));
+            drive(&mut p, &call(0x10_000 + (x % 2) * 0x40, 0x20_000));
             let noise = x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 63 == 1;
-            p.process(&cond(0x30_000 + (x % 32) * 0x40, noise));
+            drive(&mut p, &cond(0x30_000 + (x % 32) * 0x40, noise));
         }
         p.finish();
         let s = p.stats();
@@ -772,8 +784,8 @@ mod tests {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            p.process(&call(0x10_000 + (x % 8) * 0x40, 0x20_000));
-            p.process(&cond(0x30_000 + (x % 16) * 0x40, x & 2 == 0));
+            drive(&mut p, &call(0x10_000 + (x % 8) * 0x40, 0x20_000));
+            drive(&mut p, &cond(0x30_000 + (x % 16) * 0x40, x & 2 == 0));
         }
         p.finish();
         assert_eq!(p.stats().prefetch_late, 0, "0-latency fills are never late");
@@ -787,7 +799,7 @@ mod tests {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            p.process(&cond(0x30_000 + (x % 16) * 0x40, x & 2 == 0));
+            drive(&mut p, &cond(0x30_000 + (x % 16) * 0x40, x & 2 == 0));
         }
         // No prefetch machinery in PC-context mode.
         assert_eq!(p.stats().prefetches_issued, 0);
@@ -804,10 +816,10 @@ mod tests {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            p.process(&call(0x10_000, 0x20_000));
-            p.process(&call(0x20_010, 0x30_000));
+            drive(&mut p, &call(0x10_000, 0x20_000));
+            drive(&mut p, &call(0x20_010, 0x30_000));
             for b in 0..6u64 {
-                p.process(&cond(0x30_000 + b * 0x40, (x >> b) & 1 == 1));
+                drive(&mut p, &cond(0x30_000 + b * 0x40, (x >> b) & 1 == 1));
             }
         }
         // Some contexts should at least be tracked; decisions map exists.

@@ -142,15 +142,25 @@ impl PatternSet {
         if allowed.bucketed() {
             let bucket = allowed.bucket_of(len_idx);
             let bucket_cap = (capacity / 4).max(1);
-            let in_bucket: Vec<usize> = (0..self.patterns.len())
-                .filter(|&i| allowed.bucket_of(self.patterns[i].len_idx) == bucket)
-                .collect();
-            if in_bucket.len() < bucket_cap {
+            // One scan over the (≤16-entry) set: count the bucket's
+            // population and remember its least-confident member, instead
+            // of collecting indices into a heap-allocated vector. Ties keep
+            // the earliest slot, matching `min_by_key`.
+            let mut in_bucket = 0usize;
+            let mut victim: Option<(u8, usize)> = None;
+            for (i, p) in self.patterns.iter().enumerate() {
+                if allowed.bucket_of(p.len_idx) == bucket {
+                    in_bucket += 1;
+                    let c = p.confidence();
+                    if victim.is_none_or(|(vc, _)| c < vc) {
+                        victim = Some((c, i));
+                    }
+                }
+            }
+            if in_bucket < bucket_cap {
                 self.patterns.push(Pattern::allocate(tag, len_idx, taken));
             } else {
-                let victim = in_bucket
-                    .into_iter()
-                    .min_by_key(|&i| self.patterns[i].confidence())
+                let (_, victim) = victim
                     .unwrap_or_else(|| unreachable!("bucket is full, so non-empty"));
                 self.patterns[victim] = Pattern::allocate(tag, len_idx, taken);
             }

@@ -22,7 +22,7 @@
 //! analytical pipeline studies, made execution-driven because fetch blocks,
 //! BTB contents and predictions all come from the actual trace.
 
-use tage::DirectionPredictor;
+use tage::{DirectionPredictor, PredictInput};
 use traces::{BranchKind, BranchRecord, BranchStream};
 
 use crate::btb::Btb;
@@ -170,7 +170,7 @@ impl PipelineModel {
         r.instructions += rec.instructions();
         self.block += rec.instructions();
 
-        let pred = predictor.process(rec);
+        let pred = predictor.process(PredictInput::new(rec)).pred;
         if let Some(pred) = pred {
             r.cond_branches += 1;
             if pred != rec.taken {

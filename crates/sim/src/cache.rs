@@ -2,7 +2,7 @@
 //! degradation ladder instead of the old binary materialize/stream choice.
 //!
 //! Traces are materialized *lazily*, at the moment the first cell on a
-//! workload claims them, and held as `Arc<[BranchRecord]>` entries under
+//! workload claims them, and held as `Arc<Vec<BranchRecord>>` entries under
 //! the `LLBPX_TRACE_CACHE_MB` cap. When admitting a new trace would exceed
 //! the cap, the ladder degrades gracefully instead of refusing outright:
 //!
@@ -62,7 +62,7 @@ pub struct TraceCacheStats {
 #[derive(Debug, Clone)]
 pub enum TraceLease {
     /// A shared materialized trace to replay read-only.
-    Materialized(Arc<[BranchRecord]>),
+    Materialized(Arc<Vec<BranchRecord>>),
     /// Stream from the generator. `degraded` is true when the cell
     /// *wanted* the cache but memory pressure demoted it.
     Streamed {
@@ -73,7 +73,7 @@ pub enum TraceLease {
 
 struct CacheEntry {
     spec: WorkloadSpec,
-    trace: Arc<[BranchRecord]>,
+    trace: Arc<Vec<BranchRecord>>,
     bytes: u64,
     last_used: u64,
 }
@@ -270,7 +270,7 @@ impl TraceCache {
         spec: &WorkloadSpec,
         cap_bytes: u64,
         ticket: &JobTicket,
-    ) -> Result<Option<Arc<[BranchRecord]>>, SimError> {
+    ) -> Result<Option<Arc<Vec<BranchRecord>>>, SimError> {
         let fault = self.chaos.as_deref().and_then(|c| {
             let class = c.trace_fault(&spec.name)?;
             c.record(ChaosEvent {
@@ -284,14 +284,27 @@ impl TraceCache {
         });
         let mut stream = ServerWorkload::try_new(spec)
             .map_err(|reason| SimError::InvalidSpec { workload: spec.name.clone(), reason })?;
+        let hint = estimated_records(spec, self.budget);
         match fault {
             Some((class, seed)) => {
                 let mut faulty = FaultInjector::new(stream, class, seed);
-                materialize_stream(&spec.name, &mut faulty, self.budget, cap_bytes, Some(ticket))
+                materialize_stream(
+                    &spec.name,
+                    &mut faulty,
+                    self.budget,
+                    cap_bytes,
+                    hint,
+                    Some(ticket),
+                )
             }
-            None => {
-                materialize_stream(&spec.name, &mut stream, self.budget, cap_bytes, Some(ticket))
-            }
+            None => materialize_stream(
+                &spec.name,
+                &mut stream,
+                self.budget,
+                cap_bytes,
+                hint,
+                Some(ticket),
+            ),
         }
     }
 }
@@ -314,17 +327,26 @@ impl TraceCache {
 /// With a `ticket`, generation bumps its supervision heartbeat every
 /// [`GENERATION_STRIDE`] records and stops early (returning `Ok(None)`)
 /// once the ticket is cancelled.
+///
+/// The record buffer is allocated once up front (sized by `capacity_hint`,
+/// clamped to the cap) and handed to the `Arc` by move. Growth
+/// reallocations and the old `Vec → Arc<[_]>` slice conversion each copied
+/// the whole trace through fresh pages — for the ~100 MB traces fig01
+/// shares, the first-touch page faults cost multiples of the generation
+/// arithmetic itself.
 pub(crate) fn materialize_stream<S: BranchStream>(
     workload: &str,
     stream: &mut S,
     instructions: u64,
     cap_bytes: u64,
+    capacity_hint: usize,
     ticket: Option<&JobTicket>,
-) -> Result<Option<Arc<[BranchRecord]>>, SimError> {
+) -> Result<Option<Arc<Vec<BranchRecord>>>, SimError> {
     let _t = telemetry::scope("workload::materialize");
     let record_bytes = std::mem::size_of::<BranchRecord>() as u64;
+    let hint = (capacity_hint as u64).min(cap_bytes / record_bytes.max(1)) as usize;
     let mut validator = StreamValidator::new();
-    let mut records: Vec<BranchRecord> = Vec::new();
+    let mut records: Vec<BranchRecord> = Vec::with_capacity(hint);
     let mut generated = 0u64;
     let mut largest = 1u64;
     while generated < instructions.saturating_add(2 * largest) {
@@ -347,7 +369,18 @@ pub(crate) fn materialize_stream<S: BranchStream>(
         largest = largest.max(rec.instructions());
         records.push(rec);
     }
-    Ok(Some(records.into()))
+    Ok(Some(Arc::new(records)))
+}
+
+/// Expected record count for a trace covering `instructions` of `spec`:
+/// each record covers its own instruction plus a uniform gap in
+/// `gap_min..=gap_max`, so the mean spacing is `1 + (gap_min + gap_max)/2`.
+/// A ~2% slack term absorbs sampling variance so the buffer almost never
+/// regrows.
+pub(crate) fn estimated_records(spec: &WorkloadSpec, instructions: u64) -> usize {
+    let mean_gap = (u64::from(spec.gap_min) + u64::from(spec.gap_max)) / 2;
+    let estimate = instructions / (1 + mean_gap).max(1);
+    (estimate + estimate / 50 + 1024) as usize
 }
 
 #[cfg(test)]

@@ -268,10 +268,11 @@ pub fn try_materialize(
     spec: &WorkloadSpec,
     instructions: u64,
     cap_bytes: u64,
-) -> Result<Option<Arc<[BranchRecord]>>, SimError> {
+) -> Result<Option<Arc<Vec<BranchRecord>>>, SimError> {
     let mut stream = ServerWorkload::try_new(spec)
         .map_err(|reason| SimError::InvalidSpec { workload: spec.name.clone(), reason })?;
-    crate::cache::materialize_stream(&spec.name, &mut stream, instructions, cap_bytes, None)
+    let hint = crate::cache::estimated_records(spec, instructions);
+    crate::cache::materialize_stream(&spec.name, &mut stream, instructions, cap_bytes, hint, None)
 }
 
 /// [`try_materialize`], panicking on invalid specs or corrupt streams.
@@ -279,7 +280,7 @@ pub fn materialize(
     spec: &WorkloadSpec,
     instructions: u64,
     cap_bytes: u64,
-) -> Option<Arc<[BranchRecord]>> {
+) -> Option<Arc<Vec<BranchRecord>>> {
     try_materialize(spec, instructions, cap_bytes).unwrap_or_else(|e| panic!("{e}"))
 }
 

@@ -3,32 +3,34 @@
 use llbpx::{Llbp, LlbpStats};
 use tage::{DirectionPredictor, TageScl};
 
+/// A point-in-time snapshot of everything a predictor exposes to the
+/// simulator's instrumentation, returned by [`SimPredictor::observe`].
+///
+/// One struct instead of per-probe trait methods: predictors fill in what
+/// they have, the runner reads what it needs, and new gauges extend the
+/// struct without touching every implementation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Observation<'a> {
+    /// Second-level statistics, for hierarchical predictors.
+    pub llbp: Option<&'a LlbpStats>,
+    /// Pattern-buffer occupancy in `[0, 1]`, for predictors that have one
+    /// (a telemetry gauge sampled into the interval time-series).
+    pub pb_occupancy: Option<f64>,
+}
+
 /// A predictor the simulation runner can drive and instrument.
 ///
-/// Extends [`DirectionPredictor`] with end-of-run finalization and optional
-/// access to LLBP's second-level statistics (bandwidth, prefetch classes,
-/// useful patterns) for predictors that have them.
+/// Extends [`DirectionPredictor`] with end-of-run finalization and a single
+/// observation entry point for run statistics.
 pub trait SimPredictor: DirectionPredictor {
     /// Called once after the measurement phase (e.g. drain the pattern
     /// buffer so prefetch classifications are final).
     fn finish(&mut self) {}
 
-    /// Second-level statistics, for hierarchical predictors.
-    fn llbp_stats(&self) -> Option<&LlbpStats> {
-        None
-    }
-
-    /// Whether the most recent conditional prediction was available in the
-    /// pipeline's first cycle (bimodal-adjacent), e.g. from LLBP's pattern
-    /// buffer. Used by the overriding-pipeline model (§VII-C).
-    fn first_cycle_capable_last(&self) -> bool {
-        false
-    }
-
-    /// Pattern-buffer occupancy in `[0, 1]`, for predictors that have one
-    /// (a telemetry gauge sampled into the interval time-series).
-    fn pb_occupancy(&self) -> Option<f64> {
-        None
+    /// Snapshots the predictor's observable state. The default is an empty
+    /// observation (single-level predictors expose nothing extra).
+    fn observe(&self) -> Observation<'_> {
+        Observation::default()
     }
 }
 
@@ -39,16 +41,11 @@ impl SimPredictor for Llbp {
         Llbp::finish(self);
     }
 
-    fn llbp_stats(&self) -> Option<&LlbpStats> {
-        Some(self.stats())
-    }
-
-    fn first_cycle_capable_last(&self) -> bool {
-        self.provided_last()
-    }
-
-    fn pb_occupancy(&self) -> Option<f64> {
-        Some(Llbp::pb_occupancy(self))
+    fn observe(&self) -> Observation<'_> {
+        Observation {
+            llbp: Some(self.stats()),
+            pb_occupancy: Some(Llbp::pb_occupancy(self)),
+        }
     }
 }
 
@@ -56,14 +53,8 @@ impl<P: SimPredictor + ?Sized> SimPredictor for Box<P> {
     fn finish(&mut self) {
         (**self).finish();
     }
-    fn llbp_stats(&self) -> Option<&LlbpStats> {
-        (**self).llbp_stats()
-    }
-    fn first_cycle_capable_last(&self) -> bool {
-        (**self).first_cycle_capable_last()
-    }
-    fn pb_occupancy(&self) -> Option<f64> {
-        (**self).pb_occupancy()
+    fn observe(&self) -> Observation<'_> {
+        (**self).observe()
     }
 }
 
@@ -76,19 +67,21 @@ mod tests {
     #[test]
     fn tsl_has_no_second_level_stats() {
         let tsl = TageScl::new(TslConfig::kilobytes(64));
-        assert!(tsl.llbp_stats().is_none());
+        assert!(tsl.observe().llbp.is_none());
+        assert!(tsl.observe().pb_occupancy.is_none());
     }
 
     #[test]
     fn llbp_exposes_second_level_stats() {
         let llbp = Llbp::new(LlbpConfig::paper_baseline());
-        assert!(llbp.llbp_stats().is_some());
+        assert!(llbp.observe().llbp.is_some());
+        assert!(llbp.observe().pb_occupancy.is_some());
     }
 
     #[test]
     fn boxed_predictors_delegate() {
         let boxed: Box<dyn SimPredictor> = Box::new(Llbp::new(LlbpConfig::paper_baseline()));
-        assert!(boxed.llbp_stats().is_some());
+        assert!(boxed.observe().llbp.is_some());
         assert_eq!(boxed.name(), "LLBP");
     }
 }

@@ -23,12 +23,15 @@ impl Table {
         }
     }
 
-    /// Appends a row (must match the header arity).
+    /// Appends a row (must match the header arity). Takes the cells by
+    /// value — rows are formatted fresh at every call site, so the table
+    /// adopts them instead of cloning.
     ///
     /// # Panics
     ///
     /// Panics if the arity differs from the header.
-    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+    pub fn row(&mut self, cells: impl Into<Vec<String>>) -> &mut Self {
+        let cells = cells.into();
         assert_eq!(
             cells.len(),
             self.header.len(),
@@ -38,7 +41,7 @@ impl Table {
             cells.len(),
             cells
         );
-        self.rows.push(cells.to_vec());
+        self.rows.push(cells);
         self
     }
 
@@ -143,8 +146,8 @@ mod tests {
     #[test]
     fn table_renders_aligned_columns() {
         let mut t = Table::new("demo", &["workload", "mpki"]);
-        t.row(&["NodeApp".into(), "4.43".into()]);
-        t.row(&["Kafka".into(), "0.26".into()]);
+        t.row(["NodeApp".into(), "4.43".into()]);
+        t.row(["Kafka".into(), "0.26".into()]);
         let s = t.render();
         assert!(s.contains("== demo =="));
         assert!(s.contains("NodeApp"));
@@ -157,7 +160,7 @@ mod tests {
     #[should_panic(expected = "row arity mismatch in table \"demo\": header has 2 columns, row has 1 cells")]
     fn mismatched_rows_are_rejected() {
         let mut t = Table::new("demo", &["a", "b"]);
-        t.row(&["only one".into()]);
+        t.row(["only one".into()]);
     }
 
     #[test]

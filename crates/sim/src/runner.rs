@@ -5,6 +5,7 @@ use std::time::Instant;
 
 use llbpx::LlbpStats;
 use tage::bimodal::Bimodal;
+use tage::PredictInput;
 use telemetry::{IntervalRecorder, IntervalSample, IntervalSnapshot, RunRecord, ScopeTotals};
 use traces::BranchStream;
 use workloads::{ServerWorkload, WorkloadSpec};
@@ -135,22 +136,19 @@ impl RunResult {
     /// A placeholder result for a matrix cell that errored, with the
     /// status matching the error's kind (failed / timeout / quarantined);
     /// coordinators render these as `n/a` rows.
-    pub fn from_job_error(err: &JobError) -> RunResult {
-        let error = err.message.clone();
+    pub fn from_job_error(err: JobError) -> RunResult {
+        let JobError { workload, predictor, message: error, kind, attempts, .. } = err;
         RunResult {
-            name: err
-                .predictor
-                .clone()
-                .unwrap_or_else(|| "(failed)".to_owned()),
-            workload: err.workload.clone(),
-            status: match err.kind {
+            name: predictor.unwrap_or_else(|| "(failed)".to_owned()),
+            workload,
+            status: match kind {
                 JobErrorKind::Panic => RunStatus::Failed { error },
                 JobErrorKind::TimedOut | JobErrorKind::Stalled => {
                     RunStatus::TimedOut { error }
                 }
                 JobErrorKind::Quarantined => RunStatus::Quarantined { error },
             },
-            attempts: err.attempts,
+            attempts,
             ..RunResult::default()
         }
     }
@@ -357,14 +355,14 @@ impl Simulation {
         while elapsed < self.warmup_instructions {
             let Some(rec) = stream.next_branch() else { break };
             elapsed += rec.instructions();
-            predictor.process(&rec);
+            predictor.process(PredictInput::new(&rec));
             if let Some(reason) = check() {
                 return Err(Cancelled { reason, instructions: elapsed });
             }
         }
         // Second-level counters are cumulative; snapshot them so the
         // result reports the measurement phase only.
-        let warm_stats = predictor.llbp_stats().cloned();
+        let warm_stats = predictor.observe().llbp.cloned();
 
         // Measurement, with the bimodal shadow for the overriding model.
         let mut shadow = Bimodal::new(13);
@@ -379,14 +377,16 @@ impl Simulation {
         while result.instructions < self.measure_instructions {
             let Some(rec) = stream.next_branch() else { break };
             result.instructions += rec.instructions();
-            let pred = predictor.process(&rec);
-            if let Some(pred) = pred {
+            let update = predictor.process(PredictInput::new(&rec));
+            if let Some(pred) = update.pred {
                 result.cond_branches += 1;
                 if pred != rec.taken {
                     result.mispredicts += 1;
                 }
-                // PB-provided predictions are first-cycle and never bubble.
-                if pred != shadow.predict(rec.pc) && !predictor.first_cycle_capable_last() {
+                // PB-provided predictions are first-cycle and never bubble;
+                // the flag rides in the `Update` so no second (virtual)
+                // predictor call is needed per branch.
+                if pred != shadow.predict(rec.pc) && !update.first_cycle {
                     result.override_candidates += 1;
                 }
                 shadow.update(rec.pc, rec.taken);
@@ -407,12 +407,12 @@ impl Simulation {
         predictor.finish();
         // Invariants are cumulative-state properties; check them before the
         // warmup delta is taken (a no-op in release builds).
-        if let Some(end) = predictor.llbp_stats() {
+        if let Some(end) = predictor.observe().llbp {
             end.validate();
         }
         result.intervals =
             recorder.finish(snapshot_counters(&result, predictor, warm_stats.as_ref()));
-        result.llbp = predictor.llbp_stats().map(|end| match &warm_stats {
+        result.llbp = predictor.observe().llbp.map(|end| match &warm_stats {
             Some(start) => end.delta_since(start),
             None => end.clone(),
         });
@@ -436,14 +436,15 @@ fn snapshot_counters<P: SimPredictor + ?Sized>(
         mispredicts: result.mispredicts,
         ..IntervalSnapshot::default()
     };
-    if let Some(stats) = predictor.llbp_stats() {
+    let obs = predictor.observe();
+    if let Some(stats) = obs.llbp {
         let base = |pick: fn(&LlbpStats) -> u64| warm.map_or(0, pick);
         snap.prefetches_issued = stats.prefetches_issued - base(|s| s.prefetches_issued);
         snap.prefetch_on_time = stats.prefetch_on_time - base(|s| s.prefetch_on_time);
         snap.prefetch_late = stats.prefetch_late - base(|s| s.prefetch_late);
         snap.allocations = stats.allocations - base(|s| s.allocations);
     }
-    snap.pb_occupancy = predictor.pb_occupancy();
+    snap.pb_occupancy = obs.pb_occupancy;
     snap
 }
 
@@ -617,7 +618,7 @@ mod tests {
             attempts: 2,
             ..JobError::panic(1, "w", Some("LLBP".into()), None, "no progress".into())
         };
-        let r = RunResult::from_job_error(&err);
+        let r = RunResult::from_job_error(err);
         assert!(r.is_failed());
         assert_eq!(r.status.as_str(), "timeout");
         assert_eq!(r.error(), Some("no progress"));

@@ -37,6 +37,9 @@ pub struct FoldedHistory {
     width: u32,
     /// Bit position `length % width` where the outgoing bit re-enters.
     out_pos: u32,
+    /// Precomputed `2^width - 1`, so the hot update has no per-call shift
+    /// to rebuild it.
+    mask: u64,
 }
 
 impl FoldedHistory {
@@ -47,8 +50,18 @@ impl FoldedHistory {
     /// Panics if `width` is 0 or above 32, or `length` is 0.
     pub fn new(length: usize, width: u32) -> Self {
         assert!(length > 0, "folded history length must be positive");
+        assert!(
+            length < crate::history::HISTORY_CAPACITY,
+            "folded history length {length} exceeds the history ring"
+        );
         assert!((1..=32).contains(&width), "folded history width {width} unsupported");
-        FoldedHistory { comp: 0, length, width, out_pos: (length as u32) % width }
+        FoldedHistory {
+            comp: 0,
+            length,
+            width,
+            out_pos: (length as u32) % width,
+            mask: (1u64 << width) - 1,
+        }
     }
 
     /// History window length in bits.
@@ -70,12 +83,18 @@ impl FoldedHistory {
     /// Folds in the newest bit of `history` (call after `history.push`).
     #[inline]
     pub fn update(&mut self, history: &GlobalHistory) {
-        let inbit = history.bit(0);
-        let outbit = history.bit(self.length);
+        self.update_with(history.bit(0), history)
+    }
+
+    /// [`update`](Self::update) with the newest bit supplied by the caller,
+    /// so a bundle of folds over one history reads it once per branch.
+    #[inline(always)]
+    pub fn update_with(&mut self, inbit: u64, history: &GlobalHistory) {
+        let outbit = history.bit_unchecked(self.length);
         self.comp = (self.comp << 1) | inbit;
         self.comp ^= outbit << self.out_pos;
         self.comp ^= self.comp >> self.width;
-        self.comp &= (1u64 << self.width) - 1;
+        self.comp &= self.mask;
     }
 
     /// Recomputes the fold from scratch; O(length), for tests and repair.
@@ -112,11 +131,13 @@ impl FoldedSet {
         }
     }
 
-    /// Updates every fold after a history push.
+    /// Updates every fold after a history push. The newest history bit is
+    /// read once and shared across all folds.
     #[inline]
     pub fn update(&mut self, history: &GlobalHistory) {
+        let inbit = history.bit_unchecked(0);
         for f in &mut self.folds {
-            f.update(history);
+            f.update_with(inbit, history);
         }
     }
 

@@ -32,12 +32,16 @@ pub struct GlobalHistory {
     /// Total bits pushed so far; the most recent bit lives at
     /// `(pushed - 1) % HISTORY_CAPACITY`.
     pushed: u64,
+    /// The 64 most recent bits, newest in bit 0 — a shift register kept
+    /// incrementally so [`recent`](Self::recent) is O(1) instead of up to
+    /// 64 ring reads per call.
+    recent_word: u64,
 }
 
 impl GlobalHistory {
     /// Creates an all-zero history.
     pub fn new() -> Self {
-        GlobalHistory { words: vec![0; HISTORY_CAPACITY / 64], pushed: 0 }
+        GlobalHistory { words: vec![0; HISTORY_CAPACITY / 64], pushed: 0, recent_word: 0 }
     }
 
     /// Pushes the newest history bit.
@@ -47,6 +51,7 @@ impl GlobalHistory {
         let word = pos / 64;
         let off = pos % 64;
         self.words[word] = (self.words[word] & !(1u64 << off)) | ((bit as u64) << off);
+        self.recent_word = (self.recent_word << 1) | (bit as u64);
         self.pushed += 1;
     }
 
@@ -58,10 +63,19 @@ impl GlobalHistory {
     #[inline]
     pub fn bit(&self, age: usize) -> u64 {
         assert!(age < HISTORY_CAPACITY, "history age {age} out of range");
-        if (age as u64) >= self.pushed {
-            return 0;
-        }
-        let pos = ((self.pushed - 1 - age as u64) as usize) & (HISTORY_CAPACITY - 1);
+        self.bit_unchecked(age)
+    }
+
+    /// [`bit`](Self::bit) without the range assertion, for hot loops whose
+    /// ages are bounded by construction (history lengths ≤ 3000).
+    ///
+    /// Before `age + 1` pushes the addressed ring position has never been
+    /// written and the zero-initialized word reads 0, matching the cleared-
+    /// register semantics without an explicit `pushed` check.
+    #[inline(always)]
+    pub fn bit_unchecked(&self, age: usize) -> u64 {
+        let pos =
+            (self.pushed.wrapping_sub(1 + age as u64) as usize) & (HISTORY_CAPACITY - 1);
         (self.words[pos / 64] >> (pos % 64)) & 1
     }
 
@@ -79,15 +93,15 @@ impl GlobalHistory {
 
     /// Packs the most recent `n` bits (n ≤ 64) into a word, newest in bit 0.
     ///
-    /// Used by the statistical corrector's short-history components.
+    /// Used by the statistical corrector's short-history components. O(1):
+    /// masks the incrementally maintained shift register.
     #[inline]
     pub fn recent(&self, n: usize) -> u64 {
         debug_assert!(n <= 64);
-        let mut v = 0u64;
-        for age in (0..n).rev() {
-            v = (v << 1) | self.bit(age);
+        if n >= 64 {
+            return self.recent_word;
         }
-        v
+        self.recent_word & ((1u64 << n) - 1)
     }
 }
 
@@ -129,19 +143,55 @@ impl PathHistory {
     /// rotating by the table number so different tables decorrelate.
     #[inline]
     pub fn mix(&self, len: usize, table: usize, log2_size: u32) -> u64 {
+        PathMix::new(len, table, log2_size).apply(self)
+    }
+}
+
+/// Precomputed constants for one `(len, table, log2_size)` instantiation of
+/// [`PathHistory::mix`].
+///
+/// The rotation amount involves a `table % log2_size` term that compiles to
+/// a hardware divide when evaluated inline; TAGE evaluates the mix for all
+/// 21 tables on every prediction, so the constants are hoisted here once at
+/// construction and [`apply`](Self::apply) is pure shift/mask work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathMix {
+    len_mask: u64,
+    rot: u32,
+    size: u32,
+    size_mask: u64,
+    back: u32,
+}
+
+impl PathMix {
+    /// Precomputes the mix constants. `log2_size == 0` yields the
+    /// always-zero mix, matching [`PathHistory::mix`].
+    pub fn new(len: usize, table: usize, log2_size: u32) -> Self {
         let size = log2_size as u64;
-        if size == 0 {
+        let len = len.min(PATH_BITS as usize) as u64;
+        let rot = if size == 0 { 0 } else { (table as u64) % size };
+        PathMix {
+            len_mask: (1u64 << len) - 1,
+            rot: rot as u32,
+            size: log2_size,
+            size_mask: if size == 0 { 0 } else { (1u64 << size) - 1 },
+            back: size.saturating_sub(rot).max(1) as u32,
+        }
+    }
+
+    /// Applies the mix to the current path-history bits. Bit-identical to
+    /// [`PathHistory::mix`] with the constants this was built from.
+    #[inline(always)]
+    pub fn apply(&self, path: &PathHistory) -> u64 {
+        if self.size == 0 {
             return 0;
         }
-        let len = len.min(PATH_BITS as usize) as u64;
-        let mut a = self.bits & ((1u64 << len) - 1);
-        let a1 = a & ((1 << size) - 1);
-        let a2 = a >> size;
-        let t = (table as u64) % size.max(1);
-        let a2 = ((a2 << t) & ((1 << size) - 1)) | (a2 >> (size - t).max(1));
-        a = a1 ^ a2;
-        
-        ((a << t) & ((1 << size) - 1)) | (a >> (size - t).max(1))
+        let a = path.bits & self.len_mask;
+        let a1 = a & self.size_mask;
+        let a2 = a >> self.size;
+        let a2 = ((a2 << self.rot) & self.size_mask) | (a2 >> self.back);
+        let a = a1 ^ a2;
+        ((a << self.rot) & self.size_mask) | (a >> self.back)
     }
 }
 

@@ -19,7 +19,7 @@
 //! # Example
 //!
 //! ```
-//! use tage::{DirectionPredictor, TageScl, TslConfig};
+//! use tage::{DirectionPredictor, PredictInput, TageScl, TslConfig};
 //! use traces::BranchRecord;
 //!
 //! let mut tsl = TageScl::new(TslConfig::kilobytes(64));
@@ -29,7 +29,8 @@
 //!     for i in 0..4 {
 //!         let taken = i < 3;
 //!         let rec = traces::BranchRecord::cond(0x4000, 0x4800, taken, 10);
-//!         let pred = tsl.process(&rec).expect("conditional branches are predicted");
+//!         let pred = tsl.process(PredictInput::new(&rec)).pred
+//!             .expect("conditional branches are predicted");
 //!         if round > 10 && pred != taken {
 //!             mispredicts += 1;
 //!         }
@@ -55,6 +56,6 @@ pub mod tsl;
 pub use config::{TableStorageKind, TageConfig, TslConfig, HISTORY_LENGTHS, NUM_TABLES};
 pub use folded::FoldedHistory;
 pub use history::{GlobalHistory, PathHistory};
-pub use predictor::DirectionPredictor;
+pub use predictor::{DirectionPredictor, PredictInput, Update};
 pub use tage::{Tage, TageInfo};
 pub use tsl::{TageScl, TslInfo};

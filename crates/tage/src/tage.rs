@@ -9,8 +9,25 @@
 use crate::bimodal::Bimodal;
 use crate::config::{TageConfig, HISTORY_LENGTHS, NUM_TABLES};
 use crate::folded::FoldedSet;
-use crate::history::{GlobalHistory, PathHistory};
-use crate::table::TaggedTable;
+use crate::history::{GlobalHistory, PathHistory, PathMix};
+use crate::table::{TageEntry, TaggedTable};
+
+/// Per-table indexing constants, hoisted out of the per-branch key loop.
+///
+/// The PC-shuffle shift and the path-mix rotation both involve `% log2`
+/// terms that compile to hardware divides when left inline — two divides per
+/// table, 42 per prediction. All of them are fixed at construction.
+#[derive(Debug, Clone, Copy)]
+struct KeyConsts {
+    /// `(t % log2_entries) + 1`: the PC self-shuffle distance.
+    pc_shift: u32,
+    /// Precomputed path-history mix for this table.
+    path_mix: PathMix,
+    /// `2^log2_entries - 1`.
+    index_mask: u64,
+    /// `2^tag_bits - 1`.
+    tag_mask: u64,
+}
 
 /// Everything TAGE computed for one prediction, kept so the update phase
 /// (and the LLBP hierarchy on top) can reuse it without re-hashing.
@@ -54,6 +71,7 @@ pub struct Tage {
     index_folds: FoldedSet,
     tag_folds: FoldedSet,
     tag_folds2: FoldedSet,
+    keys: [KeyConsts; NUM_TABLES],
     /// Signed counter: ≥0 means trust the alternate over weak providers.
     use_alt_on_na: i8,
     /// Deterministic xorshift state for allocation spreading.
@@ -77,6 +95,12 @@ impl Tage {
         let tag_folds2 = FoldedSet::new(
             (0..NUM_TABLES).map(|t| (HISTORY_LENGTHS[t], cfg.tag_bits(t) - 1)),
         );
+        let keys = std::array::from_fn(|t| KeyConsts {
+            pc_shift: ((t as u32) % cfg.log2_entries) + 1,
+            path_mix: PathMix::new(HISTORY_LENGTHS[t].min(16), t, cfg.log2_entries),
+            index_mask: (1u64 << cfg.log2_entries) - 1,
+            tag_mask: (1u64 << cfg.tag_bits(t)) - 1,
+        });
         Tage {
             bimodal: Bimodal::new(cfg.log2_bimodal),
             tables,
@@ -85,6 +109,7 @@ impl Tage {
             index_folds,
             tag_folds,
             tag_folds2,
+            keys,
             use_alt_on_na: 0,
             rng: 0x9e37_79b9_7f4a_7c15,
             allocs_since_reset: 0,
@@ -102,24 +127,19 @@ impl Tage {
         &self.history
     }
 
-    /// Index into table `t` for branch `pc` under the current history.
+    /// Fills `indices`/`tags` for every table in one flat pass, hoisting
+    /// the PC-derived terms out of the per-table work.
     #[inline]
-    fn index(&self, t: usize, pc: u64) -> u64 {
-        let log2 = self.cfg.log2_entries;
+    fn compute_keys(&self, pc: u64, indices: &mut [u64; NUM_TABLES], tags: &mut [u32; NUM_TABLES]) {
         let pcs = pc >> 2;
-        let hist_mix = self.index_folds.value(t);
-        let path_mix = self.path.mix(HISTORY_LENGTHS[t].min(16), t, log2);
-        (pcs ^ (pcs >> (((t as u32) % log2) + 1)) ^ hist_mix ^ path_mix)
-            & self.tables[t].index_mask()
-    }
-
-    /// Partial tag for table `t` and branch `pc` under the current history.
-    #[inline]
-    fn tag(&self, t: usize, pc: u64) -> u32 {
-        let bits = self.cfg.tag_bits(t);
-        let pcs = pc >> 2;
-        ((pcs ^ self.tag_folds.value(t) ^ (self.tag_folds2.value(t) << 1))
-            & ((1u64 << bits) - 1)) as u32
+        for t in 0..NUM_TABLES {
+            let k = &self.keys[t];
+            let hist_mix = self.index_folds.value(t);
+            let path_mix = k.path_mix.apply(&self.path);
+            indices[t] = (pcs ^ (pcs >> k.pc_shift) ^ hist_mix ^ path_mix) & k.index_mask;
+            tags[t] = ((pcs ^ self.tag_folds.value(t) ^ (self.tag_folds2.value(t) << 1))
+                & k.tag_mask) as u32;
+        }
     }
 
     /// Computes the full prediction breakdown for `pc`.
@@ -127,40 +147,37 @@ impl Tage {
         let _t = telemetry::scope("tage::predict");
         let mut indices = [0u64; NUM_TABLES];
         let mut tags = [0u32; NUM_TABLES];
-        for t in 0..NUM_TABLES {
-            indices[t] = self.index(t, pc);
-            tags[t] = self.tag(t, pc);
-        }
+        self.compute_keys(pc, &mut indices, &mut tags);
 
-        let bim = self.bimodal.predict(pc);
+        // One scan from the longest history down, capturing the provider
+        // and alternate entries by value (they are `Copy`) so neither is
+        // looked up a second time.
         let mut provider = None;
+        let mut provider_entry = TageEntry::EMPTY;
         let mut alt_provider = None;
+        let mut alt_entry = TageEntry::EMPTY;
         for t in (0..NUM_TABLES).rev() {
-            if self.tables[t].lookup(indices[t], tags[t], pc).is_some() {
+            if let Some(e) = self.tables[t].lookup(indices[t], tags[t], pc) {
                 if provider.is_none() {
                     provider = Some(t);
+                    provider_entry = *e;
                 } else {
                     alt_provider = Some(t);
+                    alt_entry = *e;
                     break;
                 }
             }
         }
 
         let (provider_pred, provider_weak, provider_confident) = match provider {
-            Some(t) => {
-                let e = self.tables[t]
-                    .lookup(indices[t], tags[t], pc)
-                    .unwrap_or_else(|| unreachable!("provider entry just matched"));
-                (e.taken(), e.is_weak(), e.is_confident())
+            Some(_) => {
+                (provider_entry.taken(), provider_entry.is_weak(), provider_entry.is_confident())
             }
-            None => (bim, false, self.bimodal.confident(pc)),
+            None => (self.bimodal.predict(pc), false, self.bimodal.confident(pc)),
         };
         let alt_pred = match alt_provider {
-            Some(t) => self.tables[t]
-                .lookup(indices[t], tags[t], pc)
-                .unwrap_or_else(|| unreachable!("alternate entry just matched"))
-                .taken(),
-            None => bim,
+            Some(_) => alt_entry.taken(),
+            None => self.bimodal.predict(pc),
         };
 
         // Newly allocated providers are statistically unreliable; a global

@@ -13,7 +13,7 @@
 use crate::config::TslConfig;
 use crate::history::GlobalHistory;
 use crate::loop_pred::{LoopInfo, LoopPredictor};
-use crate::predictor::DirectionPredictor;
+use crate::predictor::{DirectionPredictor, PredictInput, Update};
 use crate::sc::{ScEval, ScInputConfidence, StatisticalCorrector};
 use crate::tage::{Tage, TageInfo};
 use traces::BranchRecord;
@@ -180,16 +180,17 @@ impl TageScl {
 }
 
 impl DirectionPredictor for TageScl {
-    fn process(&mut self, record: &BranchRecord) -> Option<bool> {
-        let pred = if record.kind.is_conditional() {
+    fn process(&mut self, input: PredictInput<'_>) -> Update {
+        let record = input.record;
+        let update = if record.kind.is_conditional() {
             let info = self.predict(record.pc);
             self.train(record.pc, record.taken, &info);
-            Some(info.pred)
+            Update::predicted(info.pred)
         } else {
-            None
+            Update::unconditional()
         };
         self.update_history(record);
-        pred
+        update
     }
 
     fn name(&self) -> String {
@@ -212,7 +213,7 @@ mod tests {
 
     fn drive(tsl: &mut TageScl, pc: u64, taken: bool) -> bool {
         let rec = BranchRecord::cond(pc, pc + 0x40, taken, 0);
-        tsl.process(&rec).expect("conditional")
+        tsl.process(PredictInput::new(&rec)).pred.expect("conditional")
     }
 
     #[test]
@@ -286,7 +287,7 @@ mod tests {
             let taken = (x >> 8).is_multiple_of(3);
             let rec = BranchRecord::cond(pc, pc + 0x100, taken, 2);
 
-            let pa = a.process(&rec).unwrap();
+            let pa = a.process(PredictInput::new(&rec)).pred.unwrap();
 
             // Staged path, exactly what `process` does internally.
             let info = b.predict(pc);
@@ -300,7 +301,7 @@ mod tests {
     fn unconditional_branches_only_move_history() {
         let mut tsl = TageScl::new(TslConfig::kilobytes(64));
         let call = BranchRecord::new(0x100, 0x9000, traces::BranchKind::DirectCall, true, 0);
-        assert_eq!(tsl.process(&call), None);
+        assert_eq!(tsl.process(PredictInput::new(&call)).pred, None);
         assert_eq!(tsl.history().len(), 1);
     }
 

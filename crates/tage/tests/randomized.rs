@@ -6,7 +6,7 @@
 //! workspace needs no registry access.
 
 use telemetry::SplitMix64;
-use tage::{DirectionPredictor, FoldedHistory, GlobalHistory, TageScl, TslConfig};
+use tage::{DirectionPredictor, FoldedHistory, GlobalHistory, PredictInput, TageScl, TslConfig};
 use traces::BranchRecord;
 
 fn rand_bits(rng: &mut SplitMix64, min: u64, max: u64) -> Vec<bool> {
@@ -110,7 +110,7 @@ fn tsl_is_deterministic() {
                 .iter()
                 .map(|&(pc, taken)| {
                     let rec = BranchRecord::cond(0x1000 + u64::from(pc) * 4, 0x9000, taken, 1);
-                    tsl.process(&rec).unwrap()
+                    tsl.process(PredictInput::new(&rec)).pred.unwrap()
                 })
                 .collect::<Vec<bool>>()
         };
@@ -129,6 +129,6 @@ fn prediction_presence_follows_kind() {
         let rec =
             BranchRecord::new(rng.next_u64(), rng.next_u64(), kind, true, rng.next_u64() as u32);
         let mut tsl = TageScl::new(TslConfig::kilobytes(64));
-        assert_eq!(tsl.process(&rec).is_some(), kind.is_conditional());
+        assert_eq!(tsl.process(PredictInput::new(&rec)).pred.is_some(), kind.is_conditional());
     }
 }

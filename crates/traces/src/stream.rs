@@ -143,19 +143,24 @@ impl BranchStream for VecTrace {
 /// A read-only trace over shared, immutable records.
 ///
 /// Cloning a `SharedTrace` (or building several from the same
-/// `Arc<[BranchRecord]>`) shares the backing storage, so many simulations
-/// can replay the identical materialized trace concurrently without
-/// duplicating it — the trace-cache path of the parallel experiment
-/// engine. Each instance keeps its own cursor.
+/// `Arc<Vec<BranchRecord>>`) shares the backing storage, so many
+/// simulations can replay the identical materialized trace concurrently
+/// without duplicating it — the trace-cache path of the parallel
+/// experiment engine. Each instance keeps its own cursor.
+///
+/// The storage is an `Arc<Vec<_>>` rather than an `Arc<[_]>` so a freshly
+/// generated `Vec` moves in without the slice-conversion copy — for the
+/// multi-hundred-megabyte traces the cache holds, that copy touches every
+/// page a second time.
 #[derive(Debug, Clone)]
 pub struct SharedTrace {
-    records: Arc<[BranchRecord]>,
+    records: Arc<Vec<BranchRecord>>,
     cursor: usize,
 }
 
 impl SharedTrace {
     /// Creates a trace over `records`, positioned at the start.
-    pub fn new(records: Arc<[BranchRecord]>) -> Self {
+    pub fn new(records: Arc<Vec<BranchRecord>>) -> Self {
         SharedTrace { records, cursor: 0 }
     }
 
@@ -182,7 +187,7 @@ impl SharedTrace {
 
 impl From<Vec<BranchRecord>> for SharedTrace {
     fn from(records: Vec<BranchRecord>) -> Self {
-        SharedTrace::new(records.into())
+        SharedTrace::new(Arc::new(records))
     }
 }
 

@@ -47,7 +47,7 @@ fn main() {
             _ => "yes",
         };
         let acc = 1.0 - r.mispredicts as f64 / r.cond_branches.max(1) as f64;
-        table.row(&[
+        table.row([
             r.name.clone(),
             format!("{kib:.0}"),
             f3(r.mpki()),

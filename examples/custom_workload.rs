@@ -42,8 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let x = sim.run(&mut Llbp::new_x(LlbpxConfig::paper_baseline()), &spec);
 
     let mut table = Table::new("my-service — predictor comparison", &["design", "MPKI", "delta"]);
-    table.row(&[base.name.clone(), f3(base.mpki()), "-".into()]);
-    table.row(&[x.name.clone(), f3(x.mpki()), pct(x.reduction_vs(&base))]);
+    table.row([base.name.clone(), f3(base.mpki()), "-".into()]);
+    table.row([x.name.clone(), f3(x.mpki()), pct(x.reduction_vs(&base))]);
     print!("{}", table.render());
 
     std::fs::remove_file(&path).ok();

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 
 use bpsim::report::Table;
 use llbpx::{Llbp, LlbpxConfig};
-use tage::{DirectionPredictor, TageScl, TslConfig};
+use tage::{DirectionPredictor, PredictInput, TageScl, TslConfig};
 use traces::{BranchStream, StreamExt};
 use workloads::engine::SiteClass;
 use workloads::ServerWorkload;
@@ -29,7 +29,7 @@ fn main() {
     let mut per_pc: HashMap<u64, (u64, u64)> = HashMap::new(); // (execs, misses)
     let mut stream = ServerWorkload::new(&spec).take_branches(3_000_000);
     while let Some(rec) = stream.next_branch() {
-        if let Some(pred) = tsl.process(&rec) {
+        if let Some(pred) = tsl.process(PredictInput::new(&rec)).pred {
             let e = per_pc.entry(rec.pc).or_insert((0, 0));
             e.0 += 1;
             if pred != rec.taken {
@@ -58,7 +58,7 @@ fn main() {
             Some((_, _, SiteClass::Typed)) => "request-type determined",
             None => "dispatch/leaf/other",
         };
-        table.row(&[
+        table.row([
             format!("{pc:#x}"),
             format!("{execs}"),
             format!("{misses}"),
@@ -73,7 +73,7 @@ fn main() {
     let mut llbpx = Llbp::new_x(LlbpxConfig::paper_baseline());
     let mut stream = ServerWorkload::new(&spec).take_branches(3_000_000);
     while let Some(rec) = stream.next_branch() {
-        llbpx.process(&rec);
+        llbpx.process(PredictInput::new(&rec));
     }
     let deep = llbpx.depth_decisions().values().filter(|&&d| d).count();
     let tracked = llbpx.depth_decisions().len();

@@ -27,9 +27,9 @@ fn main() {
     let r_llbpx = sim.run(&mut llbpx, &spec);
 
     let mut table = Table::new("quickstart — NodeApp", &["design", "MPKI", "vs 64K TSL"]);
-    table.row(&[base.name.clone(), f3(base.mpki()), "-".into()]);
+    table.row([base.name.clone(), f3(base.mpki()), "-".into()]);
     for r in [&r_llbp, &r_llbpx] {
-        table.row(&[r.name.clone(), f3(r.mpki()), pct(r.reduction_vs(&base))]);
+        table.row([r.name.clone(), f3(r.mpki()), pct(r.reduction_vs(&base))]);
     }
     print!("{}", table.render());
 

@@ -9,6 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use bpsim::SimPredictor;
+use tage::PredictInput;
 use traces::{BranchRecord, BranchStream, StreamExt};
 use workloads::ServerWorkload;
 
@@ -38,7 +39,7 @@ fn bench_predictors(c: &mut Criterion) {
                 make,
                 |mut p| {
                     for rec in records {
-                        black_box(p.process(rec));
+                        black_box(p.process(PredictInput::new(rec)));
                     }
                 },
                 criterion::BatchSize::LargeInput,

@@ -2,7 +2,7 @@
 //! history ring, bimodal counters, and predictor determinism.
 
 use proptest::prelude::*;
-use tage::{DirectionPredictor, FoldedHistory, GlobalHistory, TageScl, TslConfig};
+use tage::{DirectionPredictor, FoldedHistory, GlobalHistory, PredictInput, TageScl, TslConfig};
 use traces::BranchRecord;
 
 proptest! {
@@ -89,7 +89,7 @@ proptest! {
                 .iter()
                 .map(|&(pc, taken)| {
                     let rec = BranchRecord::cond(0x1000 + u64::from(pc) * 4, 0x9000, taken, 1);
-                    tsl.process(&rec).unwrap()
+                    tsl.process(PredictInput::new(&rec)).pred.unwrap()
                 })
                 .collect::<Vec<bool>>()
         };
@@ -108,6 +108,6 @@ proptest! {
         let kind = traces::BranchKind::ALL[kind_idx];
         let rec = BranchRecord::new(pc, target, kind, true, gap);
         let mut tsl = TageScl::new(TslConfig::kilobytes(64));
-        prop_assert_eq!(tsl.process(&rec).is_some(), kind.is_conditional());
+        prop_assert_eq!(tsl.process(PredictInput::new(&rec)).pred.is_some(), kind.is_conditional());
     }
 }

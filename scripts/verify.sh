@@ -77,6 +77,28 @@ print(f"ok: {len(one['runs'])} run record(s), accuracy bit-identical at 1 and 4 
       f"wall {one['total_wall_seconds']:.2f}s vs {four['total_wall_seconds']:.2f}s")
 EOF
 
+echo "== smoke: fig01 accuracy parity vs recorded stats =="
+# The per-branch kernel is optimization territory; any change that shifts
+# a single misprediction is a correctness bug, not a perf win. Diff the
+# threads=1 smoke record against the stats recorded before the kernel
+# optimization (scripts/fig01_accuracy.json, same protocol).
+python3 - "$sink1" scripts/fig01_accuracy.json <<'EOF'
+import json, sys
+rec = json.loads(open(sys.argv[1]).read().splitlines()[0])
+want = json.load(open(sys.argv[2]))
+got_proto = [rec["runs"][0]["warmup_instructions"],
+             rec["runs"][0]["measure_instructions"]]
+assert got_proto == want["protocol"], \
+    f"smoke protocol drifted: {got_proto} vs recorded {want['protocol']}"
+ACCURACY = ["predictor", "workload", "instructions", "cond_branches",
+            "mispredicts", "mpki", "override_candidates"]
+got = [{k: r[k] for k in ACCURACY} for r in rec["runs"]]
+assert len(got) == len(want["runs"]), (len(got), len(want["runs"]))
+for g, w in zip(got, want["runs"]):
+    assert g == w, f"accuracy drifted from the recorded stats:\n  got  {g}\n  want {w}"
+print(f"ok: {len(got)} run(s) bit-identical to the recorded pre-optimization stats")
+EOF
+
 echo "== smoke: fault isolation (LLBPX_FAULT_CELL) =="
 # One deliberately-panicking cell: the run must exit nonzero, render the
 # broken preset as n/a, keep the other preset's row, and mark exactly one

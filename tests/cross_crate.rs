@@ -4,7 +4,7 @@
 use bpsim::runner::Simulation;
 use bpsim::SimPredictor;
 use llbpx::{Llbp, LlbpConfig, LlbpxConfig};
-use tage::{DirectionPredictor, FoldedHistory, GlobalHistory, TageScl, TslConfig};
+use tage::{DirectionPredictor, FoldedHistory, GlobalHistory, PredictInput, TageScl, TslConfig};
 use traces::{BranchKind, BranchRecord};
 use workloads::WorkloadSpec;
 
@@ -51,8 +51,8 @@ fn every_design_accepts_every_branch_kind() {
         for (i, kind) in BranchKind::ALL.into_iter().enumerate() {
             let taken = kind.is_unconditional() || i % 2 == 0;
             let rec = BranchRecord::new(0x1000 + i as u64 * 64, 0x9000, kind, taken, 3);
-            let out = design.process(&rec);
-            assert_eq!(out.is_some(), kind.is_conditional(), "{} kind {kind}", design.name());
+            let out = design.process(PredictInput::new(&rec));
+            assert_eq!(out.pred.is_some(), kind.is_conditional(), "{} kind {kind}", design.name());
         }
     }
 }
